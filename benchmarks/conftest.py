@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifacts — the full-size Figure 6 / Figure 7 evaluation and
+the Section 2 study — are computed once per session and shared by all
+benchmark modules; the individual benchmarks then time representative
+stages of the flow and assert the paper-shape properties on the cached
+full-size results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_suite
+from repro.compiler import compile_source
+from repro.eval import run_configurability_study, run_evaluation
+from repro.microblaze import PAPER_CONFIG
+
+
+@pytest.fixture(scope="session")
+def full_evaluation():
+    """The full-size six-benchmark evaluation behind Figures 6 and 7."""
+    return run_evaluation()
+
+
+@pytest.fixture(scope="session")
+def section2_study():
+    """The full-size Section 2 configurability study."""
+    return run_configurability_study()
+
+
+@pytest.fixture(scope="session")
+def full_benchmarks():
+    return {bench.name: bench for bench in build_suite()}
+
+
+@pytest.fixture(scope="session")
+def compiled_programs(full_benchmarks):
+    return {name: compile_source(bench.source, name=name, config=PAPER_CONFIG).program
+            for name, bench in full_benchmarks.items()}

@@ -1,0 +1,67 @@
+"""Figure 6 — speedups of the warp processor and the ARM hard cores.
+
+Regenerates the per-benchmark speedup series of Figure 6 (warp processor
+and ARM7/9/10/11 relative to the plain 85 MHz MicroBlaze) and checks the
+paper-shape properties: ``brev`` is the best case, the suite-average warp
+speedup is in the range the paper reports, and the warp processor
+out-performs the ARM7/9/10 while the ARM11 stays ahead.
+
+The timed portion is the warp-processing flow itself (profile → partition →
+co-execute) on a representative benchmark; the assertions run against the
+cached full-size evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_benchmark
+from repro.compiler import compile_source
+from repro.eval.figures import PLATFORM_ORDER
+from repro.microblaze import PAPER_CONFIG
+from repro.warp import WarpProcessor
+
+
+def test_fig6_warp_flow_canrdr(benchmark, full_evaluation):
+    """Time the full warp flow for one benchmark; assert Figure 6's shape."""
+    bench = build_benchmark("canrdr", small=True)
+    program = compile_source(bench.source, name="canrdr", config=PAPER_CONFIG).program
+
+    def run_warp_flow():
+        return WarpProcessor(config=PAPER_CONFIG).run(program.copy())
+
+    result = benchmark.pedantic(run_warp_flow, rounds=3, iterations=1)
+    assert result.checksums_match
+
+    # ---- Figure 6 shape assertions on the full-size evaluation -------------
+    suite = full_evaluation
+    speedups = {item.benchmark.name: item.speedups() for item in suite.evaluations}
+
+    # Every platform column exists for every benchmark (the figure's series).
+    for name, row in speedups.items():
+        assert set(PLATFORM_ORDER) <= set(row)
+
+    warp = {name: row["MicroBlaze (Warp)"] for name, row in speedups.items()}
+    # brev is the stand-out best case (16.9x in the paper).
+    assert max(warp, key=warp.get) == "brev"
+    assert warp["brev"] > 8.0
+    # Average warp speedup lands in the neighbourhood of the paper's 5.8x.
+    average = suite.average_warp_speedup()
+    assert 3.0 <= average <= 10.0
+    # Excluding brev the paper reports 3.6x.
+    assert 2.0 <= suite.average_warp_speedup(exclude=("brev",)) <= 6.0
+    # The warp processor beats ARM7, ARM9 and ARM10 on average, not the ARM11.
+    arm_avgs = {core: sum(row[core] for row in speedups.values()) / len(speedups)
+                for core in ("ARM7", "ARM9", "ARM10", "ARM11")}
+    assert average > arm_avgs["ARM7"]
+    assert average > arm_avgs["ARM9"]
+    assert average > arm_avgs["ARM10"]
+    assert arm_avgs["ARM11"] > arm_avgs["ARM10"] > arm_avgs["ARM9"] > arm_avgs["ARM7"]
+
+
+def test_fig6_table_rendering(benchmark, full_evaluation):
+    """Time rendering the Figure 6 table (the reporting path)."""
+    table = benchmark(full_evaluation.figure6_table)
+    assert "brev" in table and "Average:" in table
+    for platform in PLATFORM_ORDER:
+        assert platform.split(" ")[0] in table

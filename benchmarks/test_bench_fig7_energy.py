@@ -1,0 +1,63 @@
+"""Figure 7 — normalized energy of the warp processor and the ARM cores.
+
+Regenerates the normalized-energy series of Figure 7 and checks the paper's
+qualitative claims: the plain MicroBlaze is the most energy-hungry platform,
+the ARM11 the second most, warp processing cuts the MicroBlaze's energy by
+roughly half or more (57 % in the paper, 94 % for ``brev``), and the warp
+processor needs less energy than the ARM10 and ARM11.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import PLATFORM_ORDER
+from repro.power import microblaze_energy, warp_energy
+
+
+def test_fig7_energy_accounting(benchmark, full_evaluation):
+    """Time the Figure-5 energy computation; assert Figure 7's shape."""
+    suite = full_evaluation
+    sample = suite.evaluations[0].warp
+
+    def evaluate_energy():
+        baseline = microblaze_energy(sample.software_seconds, 85.0)
+        warp = warp_energy(sample.microblaze_seconds, sample.hw_seconds, 85.0,
+                           wcla_luts=300, uses_mac=True)
+        return warp.normalized_to(baseline)
+
+    normalized_sample = benchmark(evaluate_energy)
+    assert 0.0 < normalized_sample < 1.0
+
+    # ---- Figure 7 shape assertions on the full-size evaluation -------------
+    for item in suite.evaluations:
+        normalized = item.normalized_energy()
+        assert normalized["MicroBlaze"] == pytest.approx(1.0)
+        # MicroBlaze is the most energy hungry platform on every benchmark.
+        assert all(normalized[name] <= 1.0 + 1e-9 for name in PLATFORM_ORDER)
+
+    averages = {name: sum(item.normalized_energy()[name]
+                          for item in suite.evaluations) / len(suite.evaluations)
+                for name in PLATFORM_ORDER}
+    # ARM11 is the second most energy hungry platform on average (paper: the
+    # MicroBlaze needs 48% more energy than the ARM11).
+    assert averages["ARM11"] == max(v for k, v in averages.items() if k != "MicroBlaze")
+    assert 0.2 <= suite.microblaze_vs_arm11_energy() <= 1.2
+
+    # Warp processing reduces the MicroBlaze's energy substantially (57% in
+    # the paper, 94% for brev).
+    reduction = suite.average_warp_energy_reduction()
+    assert 0.40 <= reduction <= 0.85
+    brev = next(item for item in suite.evaluations if item.benchmark.name == "brev")
+    assert brev.normalized_energy()["MicroBlaze (Warp)"] < 0.15
+
+    # The warp processor needs less energy than the ARM10 and the ARM11.
+    assert averages["MicroBlaze (Warp)"] < averages["ARM10"]
+    assert averages["MicroBlaze (Warp)"] < averages["ARM11"]
+    assert suite.warp_energy_saving_vs_arm10() > 0.0
+    assert suite.arm11_energy_overhead_vs_warp() > 0.0
+
+
+def test_fig7_table_rendering(benchmark, full_evaluation):
+    table = benchmark(full_evaluation.figure7_table)
+    assert "Average:" in table

@@ -1,0 +1,62 @@
+"""Ablation — multi-processor warp system with a shared DPM (Figure 4).
+
+The paper argues that a single dynamic partitioning module can serve
+several MicroBlaze cores round-robin and that the per-processor WCLA
+resources can share the configurable logic.  This benchmark times a
+two-core warp run and checks that the shared-DPM schedule and the shared
+fabric accounting behave as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.apps import build_benchmark
+from repro.compiler import compile_source
+from repro.microblaze import PAPER_CONFIG
+from repro.warp import MultiProcessorWarpSystem
+
+
+def _programs(names):
+    programs = []
+    for name in names:
+        bench = build_benchmark(name, small=True)
+        programs.append(compile_source(bench.source, name=name,
+                                       config=PAPER_CONFIG).program)
+    return programs
+
+
+def test_multiprocessor_shared_dpm(benchmark):
+    programs = _programs(["brev", "canrdr"])
+
+    def run_two_cores():
+        system = MultiProcessorWarpSystem(num_cores=2, num_dpm_modules=1)
+        return system.run([p.copy() for p in programs])
+
+    result = benchmark.pedantic(run_two_cores, rounds=2, iterations=1)
+
+    # Both cores were partitioned and sped up.
+    assert result.num_cores == 2
+    assert all(core.partitioning.success for core in result.per_core)
+    assert result.average_speedup > 1.0
+    # Round-robin service: the second core's kernel waits for the first.
+    assert result.schedule[1].dpm_start_seconds >= result.schedule[0].dpm_finish_seconds - 1e-12
+    # A single shared fabric holds both kernels (the paper's sharing argument).
+    assert result.fabric_fits_all_kernels
+    # The single DPM is the serialisation point: its total service time is the
+    # sum of the per-kernel tool times.
+    per_kernel = [core.partitioning.dpm_seconds for core in result.per_core]
+    assert result.total_dpm_service_seconds >= max(per_kernel)
+
+
+def test_multiprocessor_scales_to_four_cores(benchmark):
+    programs = _programs(["brev", "canrdr", "g3fax", "bitmnp"])
+
+    def run_four_cores():
+        system = MultiProcessorWarpSystem(num_cores=4, num_dpm_modules=1)
+        return system.run([p.copy() for p in programs])
+
+    result = benchmark.pedantic(run_four_cores, rounds=1, iterations=1)
+    assert result.num_cores == 4
+    assert result.average_speedup > 1.0
+    # With one DPM the last core is served after everyone before it.
+    finishes = [item.dpm_finish_seconds for item in result.schedule]
+    assert finishes == sorted(finishes)

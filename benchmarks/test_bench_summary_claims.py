@@ -1,0 +1,28 @@
+"""Section 4 aggregate claims derived from Figures 6 and 7.
+
+The paper's headline numbers: average warp speedup of 5.8x (3.6x excluding
+``brev``), average energy reduction of 57% (49% excluding ``brev``), the
+MicroBlaze needing 48% more energy than the ARM11, the ARM11 being 2.6x
+faster than the warp processor but using 80% more energy, and the warp
+processor being 1.3x faster than the ARM10 with 26% less energy.
+"""
+
+from __future__ import annotations
+
+
+def test_summary_claims(benchmark, full_evaluation):
+    suite = full_evaluation
+    claims = benchmark(suite.claims_summary)
+    assert "average warp speedup" in claims
+
+    # Who wins, and by roughly what factor (the reproduction target).
+    assert 3.0 <= suite.average_warp_speedup() <= 10.0            # paper: 5.8x
+    assert 2.0 <= suite.average_warp_speedup(exclude=("brev",)) <= 6.0   # 3.6x
+    assert 0.40 <= suite.average_warp_energy_reduction() <= 0.85  # paper: 57%
+    assert 0.35 <= suite.average_warp_energy_reduction(exclude=("brev",)) <= 0.85  # 49%
+    assert suite.microblaze_vs_arm11_energy() > 0.2               # paper: +48%
+    assert 1.5 <= suite.arm11_speed_advantage_over_warp() <= 4.0  # paper: 2.6x
+    assert suite.arm11_energy_overhead_vs_warp() > 0.5            # paper: +80%
+    assert 1.0 <= suite.warp_speed_advantage_over_arm10() <= 2.0  # paper: 1.3x
+    assert 0.1 <= suite.warp_energy_saving_vs_arm10() <= 0.6      # paper: 26%
+    assert suite.all_checksums_match

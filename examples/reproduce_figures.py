@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce Figures 6 and 7 and the Section 4 aggregate claims.
+
+Runs the six Powerstone/EEMBC-style benchmarks (brev, g3fax, canrdr,
+bitmnp, idct, matmul) through the full flow — MicroBlaze software baseline,
+warp processing, ARM7/9/10/11 comparison models, Figure-5 energy equation —
+and prints the speedup table (Figure 6), the normalized energy table
+(Figure 7) and the headline claims next to the paper's numbers.
+
+Run with:  python examples/reproduce_figures.py          (full size, ~1-2 min)
+           python examples/reproduce_figures.py --small  (reduced inputs)
+"""
+
+import argparse
+import time
+
+from repro.eval import run_evaluation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true",
+                        help="use reduced benchmark sizes (faster, same shape)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="subset of benchmarks to run")
+    args = parser.parse_args()
+
+    started = time.time()
+    suite = run_evaluation(names=args.benchmarks, small=args.small)
+    elapsed = time.time() - started
+
+    print("=== Figure 6: speedup relative to the MicroBlaze alone ===")
+    print(suite.figure6_table())
+    print()
+    print("=== Figure 7: energy normalized to the MicroBlaze alone ===")
+    print(suite.figure7_table())
+    print()
+    print("=== Section 4 aggregate claims (this reproduction vs. the paper) ===")
+    print(suite.claims_summary())
+    print()
+    print(f"all warp checksums match the software runs: {suite.all_checksums_match}")
+    print(f"evaluation wall-clock time: {elapsed:.1f} s")
+
+    print()
+    print("=== per-benchmark warp processing detail ===")
+    for item in suite.evaluations:
+        print(item.warp.summary())
+        print(f"  {item.warp.partitioning.implementation.summary()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on machines whose
+packaging toolchain predates PEP 660 editable wheels (e.g. offline
+environments without the ``wheel`` package):
+
+    pip install -e . --no-use-pep517
+    # or
+    python setup.py develop
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Warp processing for FPGA soft processor cores: a reproduction of "
+        "Lysecky & Vahid, DATE 2005"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

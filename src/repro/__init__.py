@@ -1,0 +1,31 @@
+"""Warp processing for FPGA soft processor cores.
+
+A reproduction of *"A Study of the Speedups and Competitiveness of FPGA
+Soft Processor Cores using Dynamic Hardware/Software Partitioning"*
+(Lysecky & Vahid, DATE 2005).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa` — MicroBlaze-like instruction set, assembler, encodings.
+* :mod:`repro.compiler` — small C-like kernel language compiled to the ISA,
+  honouring the soft core's configurable hardware units.
+* :mod:`repro.microblaze` — the soft-core system simulator (Figure 1).
+* :mod:`repro.profiler` — the non-intrusive on-chip profiler.
+* :mod:`repro.decompile` — binary-to-CDFG decompilation.
+* :mod:`repro.synthesis` — ROCPART-style synthesis, logic minimisation and
+  technology mapping.
+* :mod:`repro.fabric` — the warp configurable logic architecture (WCLA),
+  the simple configurable logic fabric, placement and routing.
+* :mod:`repro.partition` — the dynamic partitioning module (DPM).
+* :mod:`repro.power` — Spartan3 / UMC 0.18 µm power models and the
+  Figure-5 energy equation.
+* :mod:`repro.arm` — ARM7/9/10/11 hard-core comparison models.
+* :mod:`repro.warp` — the warp processor itself (Figures 2 and 4).
+* :mod:`repro.apps` — the Powerstone/EEMBC-style benchmark suite.
+* :mod:`repro.eval` — the experiment harness regenerating Figures 6/7 and
+  the Section 2 configurability study.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Powerstone / EEMBC-style benchmark applications.
+
+Re-implementations (in the kernel language) of the six embedded benchmarks
+the paper evaluates — ``brev``, ``g3fax``, ``canrdr``, ``bitmnp``, ``idct``
+and ``matmul`` — together with deterministic input-data generators and
+pure-Python reference models used to verify functional correctness of the
+whole compile → simulate → warp flow.
+"""
+
+from .base import Benchmark, BenchmarkRegistry, REGISTRY, format_initializer, uwrap32, wrap32
+from .suite import (
+    PAPER_ORDER,
+    SMALL_PARAMETERS,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "REGISTRY",
+    "format_initializer",
+    "uwrap32",
+    "wrap32",
+    "PAPER_ORDER",
+    "SMALL_PARAMETERS",
+    "benchmark_names",
+    "build_benchmark",
+    "build_suite",
+]

@@ -1,0 +1,100 @@
+"""Benchmark infrastructure.
+
+The paper evaluates warp processing on six embedded benchmark applications
+drawn from the Motorola Powerstone suite and from EEMBC: ``brev``,
+``g3fax``, ``canrdr``, ``bitmnp``, ``idct`` and ``matmul``.  The original
+sources are proprietary, so :mod:`repro.apps` re-implements each kernel in
+the kernel language with the same computational structure (bit reversal,
+run-length fax decoding, CAN message filtering, bit manipulation, 8-point
+IDCT, integer matrix multiply) and with deterministic, seeded input data.
+
+Every benchmark provides
+
+* the kernel-language source with the input data embedded as global array
+  initialisers,
+* a pure-Python reference model that computes the expected checksum, used
+  by the tests to prove the compiler + simulator + warp flow are
+  functionally correct,
+* a description of which loop constitutes the critical kernel, mirroring
+  the "single most critical region" the paper's profiler selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap ``value`` to signed 32-bit two's complement (Python int)."""
+    value &= _WORD_MASK
+    if value >= 0x8000_0000:
+        value -= 0x1_0000_0000
+    return value
+
+
+def uwrap32(value: int) -> int:
+    """Wrap ``value`` to an unsigned 32-bit bit pattern."""
+    return value & _WORD_MASK
+
+
+def format_initializer(values: Sequence[int]) -> str:
+    """Render an initialiser list for embedding in kernel-language source."""
+    return "{" + ", ".join(str(wrap32(v)) for v in values) + "}"
+
+
+@dataclass
+class Benchmark:
+    """One benchmark application ready to be compiled and executed."""
+
+    #: Short name as used in the paper's figures (e.g. ``"brev"``).
+    name: str
+    #: Which suite the original came from (``"Powerstone"`` or ``"EEMBC"``).
+    suite: str
+    #: One-line description of the computation.
+    description: str
+    #: Kernel-language source text with input data embedded.
+    source: str
+    #: Expected checksum (the value returned by ``main``).
+    expected_checksum: int
+    #: Human-readable description of the critical kernel.
+    kernel_description: str
+    #: Name of the function containing the critical loop (for reporting).
+    kernel_function: str = "main"
+    #: Free-form parameters used to generate the instance.
+    parameters: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.expected_checksum = wrap32(self.expected_checksum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Benchmark({self.name!r}, checksum={self.expected_checksum})"
+
+
+class BenchmarkRegistry:
+    """Registry of benchmark factory functions keyed by name."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Benchmark]] = {}
+
+    def register(self, name: str, factory: Callable[..., Benchmark]) -> None:
+        if name in self._factories:
+            raise ValueError(f"benchmark {name!r} already registered")
+        self._factories[name] = factory
+
+    def names(self) -> List[str]:
+        return list(self._factories.keys())
+
+    def build(self, name: str, **kwargs) -> Benchmark:
+        if name not in self._factories:
+            raise KeyError(f"unknown benchmark {name!r}; known: {self.names()}")
+        return self._factories[name](**kwargs)
+
+    def build_all(self, **kwargs) -> List[Benchmark]:
+        return [self.build(name, **kwargs) for name in self.names()]
+
+
+#: The global registry used by :mod:`repro.apps.suite`.
+REGISTRY = BenchmarkRegistry()

@@ -1,0 +1,98 @@
+"""``g3fax`` — Group-3 fax run-length decoding (Powerstone).
+
+The Powerstone ``g3fax`` benchmark decodes Group-3 encoded fax scan lines
+into pixel runs.  Our re-implementation keeps the structure that matters to
+the warp-processing study: an outer loop walks the run-length codes of the
+encoded lines and an inner fill loop writes each run of identical pixels
+into the scan-line buffer.  The inner fill loop — a single store with an
+address that advances by one each iteration — is the critical region and is
+precisely the kind of regular-access-pattern loop the WCLA's data address
+generator supports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Benchmark, format_initializer, wrap32
+from .generators import run_lengths
+
+_SOURCE_TEMPLATE = """\
+int runs[{num_runs}] = {runs_init};
+int line[{line_capacity}];
+
+int main() {{
+    int i;
+    int j;
+    int len;
+    int color;
+    int p;
+    int checksum;
+    checksum = 0;
+    p = 0;
+    color = 0;
+    for (i = 0; i < {num_runs}; i = i + 1) {{
+        len = runs[i];
+        for (j = 0; j < len; j = j + 1) {{
+            line[p + j] = color;
+        }}
+        p = p + len;
+        color = 1 - color;
+        checksum = checksum + p + color;
+    }}
+    checksum = checksum + line[0] + line[p - 1] + p * 8;
+    return checksum;
+}}
+"""
+
+
+def decode_reference(runs: Sequence[int]) -> List[int]:
+    """Reference run-length decode into a pixel line."""
+    line: List[int] = []
+    color = 0
+    for length in runs:
+        line.extend([color] * length)
+        color = 1 - color
+    return line
+
+
+def reference(runs: Sequence[int]) -> int:
+    """Python model of the benchmark's checksum."""
+    checksum = 0
+    position = 0
+    color = 0
+    for length in runs:
+        position += length
+        color = 1 - color
+        checksum = wrap32(checksum + position + color)
+    line = decode_reference(runs)
+    checksum = wrap32(checksum + line[0] + line[position - 1] + position * 8)
+    return checksum
+
+
+def build(num_runs: int = 96, seed: int = 0xFA40_0004,
+          line_capacity: int = 4096) -> Benchmark:
+    """Create a ``g3fax`` instance decoding ``num_runs`` run-length codes."""
+    runs = run_lengths(num_runs, seed)
+    total_pixels = sum(runs)
+    if total_pixels > line_capacity:
+        raise ValueError("decoded line does not fit the line buffer")
+    source = _SOURCE_TEMPLATE.format(
+        num_runs=num_runs,
+        runs_init=format_initializer(runs),
+        line_capacity=line_capacity,
+    )
+    return Benchmark(
+        name="g3fax",
+        suite="Powerstone",
+        description="Group-3 fax run-length decoding of scan lines",
+        source=source,
+        expected_checksum=reference(runs),
+        kernel_description=(
+            "the run fill loop that stores one pixel per iteration at a "
+            "unit-stride address"
+        ),
+        kernel_function="main",
+        parameters={"num_runs": num_runs, "seed": seed,
+                    "total_pixels": total_pixels},
+    )

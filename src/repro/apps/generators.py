@@ -1,0 +1,97 @@
+"""Deterministic input-data generators for the benchmark suite.
+
+The original Powerstone / EEMBC benchmarks ship with fixed input data sets
+(a fax scan line, an 8x8 DCT block, a CAN message log, ...).  We do not
+have those files, so each benchmark instance embeds synthetic data produced
+by a small linear congruential generator.  Using our own LCG rather than
+:mod:`random` keeps the data identical across Python versions and platforms,
+which in turn keeps every checksum and cycle count in ``EXPERIMENTS.md``
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DeterministicGenerator:
+    """A 32-bit linear congruential generator (Numerical Recipes constants)."""
+
+    MULTIPLIER = 1664525
+    INCREMENT = 1013904223
+    MASK = 0xFFFFFFFF
+
+    def __init__(self, seed: int = 0x1234_5678):
+        self.state = seed & self.MASK
+
+    def next_u32(self) -> int:
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) & self.MASK
+        return self.state
+
+    def next_in_range(self, low: int, high: int) -> int:
+        """Uniform-ish value in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError("empty range")
+        span = high - low + 1
+        return low + (self.next_u32() >> 8) % span
+
+    def values(self, count: int, low: int, high: int) -> List[int]:
+        return [self.next_in_range(low, high) for _ in range(count)]
+
+    def words(self, count: int) -> List[int]:
+        return [self.next_u32() for _ in range(count)]
+
+
+def word_data(count: int, seed: int) -> List[int]:
+    """``count`` full 32-bit words (used by ``brev`` and ``bitmnp``)."""
+    return DeterministicGenerator(seed).words(count)
+
+
+def small_values(count: int, seed: int, low: int = 0, high: int = 15) -> List[int]:
+    """``count`` small values (used for matrices and pixel data)."""
+    return DeterministicGenerator(seed).values(count, low, high)
+
+
+def run_lengths(count: int, seed: int, max_run: int = 64) -> List[int]:
+    """Run lengths for the fax decoder: mostly short runs with a few long ones.
+
+    Group-3 fax lines alternate white and black runs; white runs tend to be
+    long (background) and black runs short (text strokes).  The generator
+    mimics that bimodal behaviour so the decoded line length is realistic.
+    """
+    generator = DeterministicGenerator(seed)
+    lengths: List[int] = []
+    for index in range(count):
+        if index % 2 == 0:  # white run
+            lengths.append(generator.next_in_range(8, max_run))
+        else:  # black run
+            lengths.append(generator.next_in_range(1, 12))
+    return lengths
+
+
+def can_messages(count: int, seed: int) -> List[int]:
+    """Synthetic 11-bit CAN identifiers with a skewed distribution."""
+    generator = DeterministicGenerator(seed)
+    messages: List[int] = []
+    for _ in range(count):
+        base = generator.next_in_range(0, 0x7FF)
+        # Cluster half the traffic around a handful of "hot" identifiers so
+        # that the acceptance filter matches a realistic fraction of frames.
+        if generator.next_in_range(0, 1):
+            base = (base & 0x70F) | 0x120
+        messages.append(base)
+    return messages
+
+
+def dct_coefficients(seed: int, num_blocks: int) -> List[int]:
+    """Quantised DCT coefficient blocks: sparse, mostly low-frequency."""
+    generator = DeterministicGenerator(seed)
+    blocks: List[int] = []
+    for _ in range(num_blocks):
+        block = [0] * 64
+        block[0] = generator.next_in_range(-512, 512)  # DC term
+        for _ in range(generator.next_in_range(6, 18)):
+            position = generator.next_in_range(1, 63)
+            block[position] = generator.next_in_range(-128, 128)
+        blocks.extend(block)
+    return blocks

@@ -1,0 +1,132 @@
+"""``idct`` — 8x8 inverse discrete cosine transform (Powerstone/EEMBC style).
+
+The benchmark performs a fixed-point two-dimensional IDCT on a sequence of
+8x8 coefficient blocks, the core of JPEG/MPEG decoding.  The 2-D transform
+is computed as two passes of 1-D 8-point transforms with a transpose in
+between, so that a *single* static inner loop (the 8-tap dot product with
+the cosine table) accounts for almost all multiplies — matching the paper's
+"single most critical region" partitioning model.
+
+The cosine basis is scaled by 256 and results are shifted right by 8, the
+usual fixed-point arrangement for integer IDCTs of that era.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .base import Benchmark, format_initializer, wrap32
+from .generators import dct_coefficients
+
+#: Fixed-point scale of the cosine table (2**8).
+COS_SCALE_SHIFT = 8
+
+
+def cosine_table() -> List[int]:
+    """The 8x8 scaled IDCT basis: ``table[k*8+n] = round(256*C(k)*cos((2n+1)k*pi/16))/2``."""
+    table: List[int] = []
+    for k in range(8):
+        ck = math.sqrt(0.5) if k == 0 else 1.0
+        for n in range(8):
+            value = 0.5 * ck * math.cos((2 * n + 1) * k * math.pi / 16.0)
+            table.append(int(round(value * (1 << COS_SCALE_SHIFT))))
+    return table
+
+
+_SOURCE_TEMPLATE = """\
+int blocks[{total_words}] = {blocks_init};
+int cos_table[64] = {cos_init};
+int work[64];
+int tmp[64];
+
+int main() {{
+    int blk;
+    int p;
+    int r;
+    int n;
+    int k;
+    int sum;
+    int checksum;
+    checksum = 0;
+    for (blk = 0; blk < {num_blocks}; blk = blk + 1) {{
+        for (r = 0; r < 64; r = r + 1) {{
+            work[r] = blocks[blk * 64 + r];
+        }}
+        for (p = 0; p < 2; p = p + 1) {{
+            for (r = 0; r < 8; r = r + 1) {{
+                for (n = 0; n < 8; n = n + 1) {{
+                    sum = 0;
+                    for (k = 0; k < 8; k = k + 1) {{
+                        sum = sum + work[r * 8 + k] * cos_table[k * 8 + n];
+                    }}
+                    tmp[r * 8 + n] = sum >> {scale};
+                }}
+            }}
+            for (r = 0; r < 8; r = r + 1) {{
+                for (n = 0; n < 8; n = n + 1) {{
+                    work[n * 8 + r] = tmp[r * 8 + n];
+                }}
+            }}
+        }}
+        for (r = 0; r < 64; r = r + 1) {{
+            checksum = checksum + work[r] ^ (checksum >> 3);
+        }}
+    }}
+    return checksum;
+}}
+"""
+
+
+def idct_block_reference(block: Sequence[int], table: Sequence[int]) -> List[int]:
+    """Reference fixed-point 2-D IDCT of one 8x8 block (row/column passes)."""
+    work = [wrap32(v) for v in block]
+    for _ in range(2):
+        tmp = [0] * 64
+        for r in range(8):
+            for n in range(8):
+                total = 0
+                for k in range(8):
+                    total = wrap32(total + work[r * 8 + k] * table[k * 8 + n])
+                tmp[r * 8 + n] = total >> COS_SCALE_SHIFT
+        for r in range(8):
+            for n in range(8):
+                work[n * 8 + r] = tmp[r * 8 + n]
+    return work
+
+
+def reference(blocks: Sequence[int], num_blocks: int) -> int:
+    """Python model of the benchmark's checksum."""
+    table = cosine_table()
+    checksum = 0
+    for blk in range(num_blocks):
+        block = blocks[blk * 64:(blk + 1) * 64]
+        work = idct_block_reference(block, table)
+        for value in work:
+            checksum = wrap32(wrap32(checksum + value) ^ (checksum >> 3))
+    return checksum
+
+
+def build(num_blocks: int = 4, seed: int = 0x1DC7_0003) -> Benchmark:
+    """Create an ``idct`` instance transforming ``num_blocks`` 8x8 blocks."""
+    blocks = dct_coefficients(seed, num_blocks)
+    source = _SOURCE_TEMPLATE.format(
+        total_words=64 * num_blocks,
+        num_blocks=num_blocks,
+        blocks_init=format_initializer(blocks),
+        cos_init=format_initializer(cosine_table()),
+        scale=COS_SCALE_SHIFT,
+    )
+    return Benchmark(
+        name="idct",
+        suite="Powerstone",
+        description=f"fixed-point 2-D IDCT of {num_blocks} 8x8 blocks",
+        source=source,
+        expected_checksum=reference(blocks, num_blocks),
+        kernel_description=(
+            "the 8-tap dot product against the cosine table (one MAC and two "
+            "array reads per iteration), shared by the row and column passes"
+        ),
+        kernel_function="main",
+        parameters={"num_blocks": num_blocks, "seed": seed},
+    )

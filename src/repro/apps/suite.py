@@ -1,0 +1,63 @@
+"""Benchmark suite registry.
+
+Provides the six-application suite of the paper's evaluation (Figures 6 and
+7) plus helpers to build every benchmark with its default parameters or
+with scaled-down parameters for quick tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import bitmnp, brev, canrdr, g3fax, idct, matmul
+from .base import REGISTRY, Benchmark
+
+#: Benchmark order as it appears on the x-axis of Figures 6 and 7.
+PAPER_ORDER = ("brev", "g3fax", "canrdr", "bitmnp", "idct", "matmul")
+
+_BUILDERS = {
+    "brev": brev.build,
+    "g3fax": g3fax.build,
+    "canrdr": canrdr.build,
+    "bitmnp": bitmnp.build,
+    "idct": idct.build,
+    "matmul": matmul.build,
+}
+
+for _name, _builder in _BUILDERS.items():
+    REGISTRY.register(_name, _builder)
+
+#: Reduced-size parameters used by fast unit tests (same code paths, less time).
+SMALL_PARAMETERS: Dict[str, Dict[str, int]] = {
+    "brev": {"count": 32},
+    "g3fax": {"num_runs": 16},
+    "canrdr": {"count": 64},
+    "bitmnp": {"count": 32},
+    "idct": {"num_blocks": 1},
+    "matmul": {"n": 6},
+}
+
+
+def benchmark_names() -> List[str]:
+    """The benchmark names in the order used by the paper's figures."""
+    return list(PAPER_ORDER)
+
+
+def build_benchmark(name: str, small: bool = False, **overrides) -> Benchmark:
+    """Build one benchmark by name.
+
+    ``small=True`` applies the reduced-size parameters used by the unit
+    tests; explicit keyword ``overrides`` always win.
+    """
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")
+    parameters = dict(SMALL_PARAMETERS.get(name, {})) if small else {}
+    parameters.update(overrides)
+    return _BUILDERS[name](**parameters)
+
+
+def build_suite(small: bool = False,
+                names: Optional[List[str]] = None) -> List[Benchmark]:
+    """Build the full suite (or ``names``) in paper order."""
+    selected = names if names is not None else benchmark_names()
+    return [build_benchmark(name, small=small) for name in selected]

@@ -1,0 +1,19 @@
+"""ARM hard-core comparison models (ARM7/9/10/11 of Figures 6 and 7)."""
+
+from .models import (
+    ARM_CORES,
+    ArmCoreModel,
+    ArmExecutionEstimate,
+    ISA_TRANSLATION_FACTORS,
+    estimate_all_arm_cores,
+    estimate_arm_execution,
+)
+
+__all__ = [
+    "ARM_CORES",
+    "ArmCoreModel",
+    "ArmExecutionEstimate",
+    "ISA_TRANSLATION_FACTORS",
+    "estimate_all_arm_cores",
+    "estimate_arm_execution",
+]

@@ -1,0 +1,37 @@
+"""Kernel-language compiler targeting the MicroBlaze-like soft core.
+
+The compiler exists for two reasons.  First, the benchmark kernels of
+:mod:`repro.apps` need realistic MicroBlaze binaries for the warp
+processor's binary-level decompilation to chew on.  Second, the paper's
+Section 2 configurability study is fundamentally a *compiler* effect — the
+code emitted for a MicroBlaze without a hardware multiplier or barrel
+shifter calls software routines or strings together successive adds — so
+the compiler takes the processor configuration as an input and adapts its
+output accordingly.
+"""
+
+from .ast_nodes import TranslationUnit
+from .driver import CompilationResult, compile_source, compile_to_program
+from .errors import CompileError, LexerError, ParseError, SemanticError
+from .ir import IRModule
+from .irgen import lower_to_ir
+from .lexer import Token, tokenize
+from .lowering import lower_operations
+from .parser import parse
+
+__all__ = [
+    "TranslationUnit",
+    "CompilationResult",
+    "compile_source",
+    "compile_to_program",
+    "CompileError",
+    "LexerError",
+    "ParseError",
+    "SemanticError",
+    "IRModule",
+    "lower_to_ir",
+    "Token",
+    "tokenize",
+    "lower_operations",
+    "parse",
+]

@@ -1,0 +1,169 @@
+"""Abstract syntax tree of the kernel language.
+
+Every node records the source line it came from so that later phases can
+report precise diagnostics.  The tree is deliberately small: the language
+has a single ``int`` type (32-bit signed), one-dimensional global arrays,
+scalar locals and parameters, and structured control flow — enough to
+express the Powerstone / EEMBC-style kernels the paper evaluates while
+keeping binary-level decompilation tractable for the on-chip tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+
+
+# --------------------------------------------------------------------------- expressions
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str = ""
+    index: Expr = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- statements
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # VarRef or ArrayRef
+    value: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None
+    then_body: Stmt = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt = None
+    condition: Expr = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    update: Optional[Stmt] = None
+    body: Stmt = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expression: Expr = None
+
+
+# --------------------------------------------------------------------------- declarations
+@dataclass
+class GlobalVar(Node):
+    """A global scalar (``size is None``) or array declaration."""
+
+    name: str = ""
+    size: Optional[int] = None
+    initializer: Sequence[int] = ()
+
+
+@dataclass
+class Parameter(Node):
+    name: str = ""
+
+
+@dataclass
+class Function(Node):
+    name: str = ""
+    parameters: List[Parameter] = field(default_factory=list)
+    body: Block = None
+    returns_value: bool = True
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole kernel-language source file."""
+
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,472 @@
+"""MicroBlaze code generation from the lowered IR.
+
+The code generator turns each :class:`~repro.compiler.ir.IRFunction` into
+MicroBlaze assembly text.  Its register model is deliberately simple and
+robust:
+
+* every virtual register (named variable or compiler temporary) is given a
+  *home* in a callee-saved register (``r19``–``r31``); functions whose
+  register pressure exceeds the pool spill the remaining virtual registers
+  to stack slots,
+* ``r17`` and ``r18`` are reserved as code-generator scratch registers,
+* arguments travel in ``r5``–``r10`` and results in ``r3`` per the
+  MicroBlaze ABI, so calls never clobber a live home.
+
+Because homes are callee saved, the generated code needs no caller-side
+save/restore around calls — including the software multiply/divide/shift
+library calls introduced by :mod:`~repro.compiler.lowering` — which keeps
+the binaries clean and realistic for the warp processor's binary-level
+decompilation.
+
+The generator also honours the processor configuration directly: constant
+shifts are emitted as barrel-shift instructions when the barrel shifter is
+present, and expanded into the *n*-successive-adds / single-bit-shift
+sequences described in Section 2 of the paper when it is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..microblaze.config import MicroBlazeConfig
+from .errors import CompileError
+from .ir import (
+    BinOp,
+    BinOpKind,
+    Call,
+    CondJump,
+    Const,
+    Copy,
+    IRFunction,
+    IRGlobal,
+    IRInstr,
+    IRModule,
+    Jump,
+    Label,
+    LoadArray,
+    LoadGlobal,
+    Operand,
+    Reg,
+    RelOp,
+    Return,
+    StoreArray,
+    StoreGlobal,
+    UnOp,
+)
+
+#: Callee-saved registers available as homes for virtual registers.
+HOME_POOL: Tuple[int, ...] = tuple(range(19, 32))
+#: Scratch registers reserved for the code generator.
+SCRATCH_A = 18
+SCRATCH_B = 17
+#: Argument and return-value registers of the ABI.
+ARG_REGS: Tuple[int, ...] = (5, 6, 7, 8, 9, 10)
+RETURN_REG = 3
+LINK_REG = 15
+STACK_REG = 1
+
+_BRANCH_BY_RELOP = {
+    RelOp.EQ: "beqi",
+    RelOp.NE: "bnei",
+    RelOp.LT: "blti",
+    RelOp.LE: "blei",
+    RelOp.GT: "bgti",
+    RelOp.GE: "bgei",
+}
+
+_IMMEDIATE_FORMS = {
+    BinOpKind.ADD: "addi",
+    BinOpKind.AND: "andi",
+    BinOpKind.OR: "ori",
+    BinOpKind.XOR: "xori",
+    BinOpKind.MUL: "muli",
+}
+
+_REGISTER_FORMS = {
+    BinOpKind.ADD: "add",
+    BinOpKind.AND: "and",
+    BinOpKind.OR: "or",
+    BinOpKind.XOR: "xor",
+    BinOpKind.MUL: "mul",
+}
+
+
+def _fits_imm16(value: int) -> bool:
+    return -0x8000 <= value <= 0x7FFF
+
+
+@dataclass
+class _Home:
+    """Physical location of a virtual register."""
+
+    kind: str  # "reg" or "spill"
+    register: int = 0
+    offset: int = 0
+
+
+class FunctionCodeGenerator:
+    """Emits assembly for one IR function."""
+
+    def __init__(self, function: IRFunction, config: MicroBlazeConfig):
+        self.function = function
+        self.config = config
+        self.lines: List[str] = []
+        self.homes: Dict[str, _Home] = {}
+        self.used_callee_saved: List[int] = []
+        self.frame_size = 4
+        self._assign_homes()
+
+    # -------------------------------------------------------------- allocation
+    def _assign_homes(self) -> None:
+        vregs = self.function.virtual_registers()
+        spill_count = 0
+        for index, name in enumerate(vregs):
+            if index < len(HOME_POOL):
+                register = HOME_POOL[index]
+                self.homes[name] = _Home("reg", register=register)
+                self.used_callee_saved.append(register)
+            else:
+                self.homes[name] = _Home("spill", offset=0)
+                spill_count += 1
+        # Frame layout: [0] saved r15, then saved callee-saved homes, then
+        # spill slots.
+        offset = 4 * (1 + len(self.used_callee_saved))
+        for name in vregs:
+            home = self.homes[name]
+            if home.kind == "spill":
+                home.offset = offset
+                offset += 4
+        self.frame_size = offset
+
+    # ------------------------------------------------------------------ output
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    # --------------------------------------------------------------- operands
+    def _read(self, operand: Operand, scratch: int) -> int:
+        """Ensure ``operand``'s value is in a register and return it."""
+        if isinstance(operand, Const):
+            self.emit(f"li r{scratch}, {operand.value}")
+            return scratch
+        home = self.homes[operand.name]
+        if home.kind == "reg":
+            return home.register
+        self.emit(f"lwi r{scratch}, r{STACK_REG}, {home.offset}")
+        return scratch
+
+    def _dest(self, reg: Reg) -> Tuple[int, Optional[str]]:
+        """Physical register to compute into, plus an optional store-back line."""
+        home = self.homes[reg.name]
+        if home.kind == "reg":
+            return home.register, None
+        return SCRATCH_B, f"swi r{SCRATCH_B}, r{STACK_REG}, {home.offset}"
+
+    def _writeback(self, store_back: Optional[str]) -> None:
+        if store_back is not None:
+            self.emit(store_back)
+
+    # ------------------------------------------------------------------ prologue
+    def _prologue(self) -> None:
+        self.emit_label(self.function.name)
+        self.emit(f"addik r{STACK_REG}, r{STACK_REG}, {-self.frame_size}")
+        self.emit(f"swi r{LINK_REG}, r{STACK_REG}, 0")
+        for index, register in enumerate(self.used_callee_saved):
+            self.emit(f"swi r{register}, r{STACK_REG}, {4 * (index + 1)}")
+        for index, param in enumerate(self.function.parameters):
+            if index >= len(ARG_REGS):
+                raise CompileError(
+                    f"function {self.function.name!r} has too many parameters"
+                )
+            home = self.homes[param]
+            if home.kind == "reg":
+                self.emit(f"add r{home.register}, r{ARG_REGS[index]}, r0")
+            else:
+                self.emit(f"swi r{ARG_REGS[index]}, r{STACK_REG}, {home.offset}")
+
+    def _epilogue_label(self) -> str:
+        return f"L_{self.function.name}_epilogue"
+
+    def _epilogue(self) -> None:
+        self.emit_label(self._epilogue_label())
+        for index, register in enumerate(self.used_callee_saved):
+            self.emit(f"lwi r{register}, r{STACK_REG}, {4 * (index + 1)}")
+        self.emit(f"lwi r{LINK_REG}, r{STACK_REG}, 0")
+        self.emit(f"addik r{STACK_REG}, r{STACK_REG}, {self.frame_size}")
+        self.emit(f"rtsd r{LINK_REG}, 8")
+        self.emit("nop")
+
+    # ------------------------------------------------------------------ driver
+    def generate(self) -> List[str]:
+        self._prologue()
+        for instr in self.function.body:
+            self._instruction(instr)
+        self._epilogue()
+        return self.lines
+
+    # ------------------------------------------------------------ instructions
+    def _instruction(self, instr: IRInstr) -> None:
+        if isinstance(instr, Label):
+            self.emit_label(instr.name)
+        elif isinstance(instr, Jump):
+            self.emit(f"bri {instr.target}")
+        elif isinstance(instr, CondJump):
+            self._cond_jump(instr)
+        elif isinstance(instr, BinOp):
+            self._binop(instr)
+        elif isinstance(instr, UnOp):
+            self._unop(instr)
+        elif isinstance(instr, Copy):
+            self._copy(instr)
+        elif isinstance(instr, LoadGlobal):
+            dest, back = self._dest(instr.dest)
+            self.emit(f"lwi r{dest}, r0, {instr.symbol}")
+            self._writeback(back)
+        elif isinstance(instr, StoreGlobal):
+            src = self._read(instr.src, SCRATCH_A)
+            self.emit(f"swi r{src}, r0, {instr.symbol}")
+        elif isinstance(instr, LoadArray):
+            self._load_array(instr)
+        elif isinstance(instr, StoreArray):
+            self._store_array(instr)
+        elif isinstance(instr, Call):
+            self._call(instr)
+        elif isinstance(instr, Return):
+            self._return(instr)
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"cannot generate code for {instr!r}")
+
+    # --------------------------------------------------------------- control flow
+    def _cond_jump(self, instr: CondJump) -> None:
+        left, relop, right = instr.left, instr.relop, instr.right
+        # Branch directly on a register when comparing against zero.
+        if isinstance(right, Const) and right.value == 0 and isinstance(left, Reg):
+            reg = self._read(left, SCRATCH_A)
+            self.emit(f"{_BRANCH_BY_RELOP[relop]} r{reg}, {instr.target}")
+            return
+        if isinstance(left, Const) and left.value == 0 and isinstance(right, Reg):
+            reg = self._read(right, SCRATCH_A)
+            self.emit(f"{_BRANCH_BY_RELOP[relop.swap()]} r{reg}, {instr.target}")
+            return
+        left_reg = self._read(left, SCRATCH_A)
+        right_reg = self._read(right, SCRATCH_B)
+        # cmp rd, ra, rb computes sign(rb - ra); with ra=right, rb=left the
+        # result's sign reflects (left - right), so the branch condition can
+        # be applied unchanged.
+        self.emit(f"cmp r{SCRATCH_A}, r{right_reg}, r{left_reg}")
+        self.emit(f"{_BRANCH_BY_RELOP[relop]} r{SCRATCH_A}, {instr.target}")
+
+    # ----------------------------------------------------------------- data ops
+    def _copy(self, instr: Copy) -> None:
+        dest, back = self._dest(instr.dest)
+        if isinstance(instr.src, Const):
+            self.emit(f"li r{dest}, {instr.src.value}")
+        else:
+            src = self._read(instr.src, SCRATCH_A)
+            if src != dest:
+                self.emit(f"add r{dest}, r{src}, r0")
+        self._writeback(back)
+
+    def _unop(self, instr: UnOp) -> None:
+        dest, back = self._dest(instr.dest)
+        src = self._read(instr.src, SCRATCH_A)
+        if instr.op == "neg":
+            self.emit(f"rsub r{dest}, r{src}, r0")
+        elif instr.op == "not":
+            self.emit(f"xori r{dest}, r{src}, -1")
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unknown unary op {instr.op!r}")
+        self._writeback(back)
+
+    def _binop(self, instr: BinOp) -> None:
+        kind = instr.op
+        if kind in (BinOpKind.SHL, BinOpKind.SHR):
+            self._shift(instr)
+            return
+        if kind is BinOpKind.SUB:
+            self._subtract(instr)
+            return
+        if kind is BinOpKind.DIV:
+            self._divide(instr)
+            return
+        if kind is BinOpKind.MOD:  # pragma: no cover - lowered earlier
+            raise CompileError("modulo must be lowered before code generation")
+
+        dest, back = self._dest(instr.dest)
+        left, right = instr.left, instr.right
+        # Prefer an immediate form with the constant on the right.
+        if isinstance(left, Const) and not isinstance(right, Const):
+            left, right = right, left  # all remaining ops are commutative
+        if isinstance(right, Const) and _fits_imm16(right.value) and kind in _IMMEDIATE_FORMS:
+            left_reg = self._read(left, SCRATCH_A)
+            self.emit(f"{_IMMEDIATE_FORMS[kind]} r{dest}, r{left_reg}, {right.value}")
+        else:
+            left_reg = self._read(left, SCRATCH_A)
+            right_reg = self._read(right, SCRATCH_B)
+            self.emit(f"{_REGISTER_FORMS[kind]} r{dest}, r{left_reg}, r{right_reg}")
+        self._writeback(back)
+
+    def _subtract(self, instr: BinOp) -> None:
+        dest, back = self._dest(instr.dest)
+        left, right = instr.left, instr.right
+        if isinstance(right, Const) and _fits_imm16(-right.value):
+            left_reg = self._read(left, SCRATCH_A)
+            self.emit(f"addi r{dest}, r{left_reg}, {-right.value}")
+        elif isinstance(left, Const) and _fits_imm16(left.value):
+            right_reg = self._read(right, SCRATCH_A)
+            self.emit(f"rsubi r{dest}, r{right_reg}, {left.value}")
+        else:
+            left_reg = self._read(left, SCRATCH_A)
+            right_reg = self._read(right, SCRATCH_B)
+            # rsub rd, ra, rb computes rb - ra.
+            self.emit(f"rsub r{dest}, r{right_reg}, r{left_reg}")
+        self._writeback(back)
+
+    def _divide(self, instr: BinOp) -> None:
+        if not self.config.use_divider:  # pragma: no cover - lowered earlier
+            raise CompileError("divide must be lowered when there is no divider")
+        dest, back = self._dest(instr.dest)
+        left_reg = self._read(instr.left, SCRATCH_A)
+        right_reg = self._read(instr.right, SCRATCH_B)
+        # idiv rd, ra, rb computes rb / ra.
+        self.emit(f"idiv r{dest}, r{right_reg}, r{left_reg}")
+        self._writeback(back)
+
+    def _shift(self, instr: BinOp) -> None:
+        dest, back = self._dest(instr.dest)
+        is_left_shift = instr.op is BinOpKind.SHL
+        amount = instr.right
+        if self.config.use_barrel_shifter:
+            left_reg = self._read(instr.left, SCRATCH_A)
+            if isinstance(amount, Const):
+                mnemonic = "bslli" if is_left_shift else "bsrai"
+                self.emit(f"{mnemonic} r{dest}, r{left_reg}, {amount.value & 31}")
+            else:
+                amount_reg = self._read(amount, SCRATCH_B)
+                mnemonic = "bsll" if is_left_shift else "bsra"
+                self.emit(f"{mnemonic} r{dest}, r{left_reg}, r{amount_reg}")
+            self._writeback(back)
+            return
+        # No barrel shifter: constant shifts expand inline (variable shifts
+        # were lowered to runtime calls).
+        if not isinstance(amount, Const):  # pragma: no cover - lowered earlier
+            raise CompileError("variable shift must be lowered without a barrel shifter")
+        count = amount.value & 31
+        left_reg = self._read(instr.left, SCRATCH_A)
+        if left_reg != dest:
+            self.emit(f"add r{dest}, r{left_reg}, r0")
+        step = f"add r{dest}, r{dest}, r{dest}" if is_left_shift else f"sra r{dest}, r{dest}"
+        for _ in range(count):
+            self.emit(step)
+        self._writeback(back)
+
+    # -------------------------------------------------------------------- arrays
+    def _element_address(self, symbol: str, index: Operand) -> Tuple[int, int]:
+        """Compute the address of ``symbol[index]``.
+
+        Returns ``(base_register, constant_offset)`` such that the access
+        can be performed with ``lwi/swi reg, base_register, constant_offset``.
+        """
+        if isinstance(index, Const):
+            self.emit(f"la r{SCRATCH_A}, {symbol}")
+            return SCRATCH_A, 4 * index.value
+        index_reg = self._read(index, SCRATCH_B)
+        if self.config.use_barrel_shifter:
+            self.emit(f"bslli r{SCRATCH_B}, r{index_reg}, 2")
+        else:
+            self.emit(f"add r{SCRATCH_B}, r{index_reg}, r{index_reg}")
+            self.emit(f"add r{SCRATCH_B}, r{SCRATCH_B}, r{SCRATCH_B}")
+        self.emit(f"la r{SCRATCH_A}, {symbol}")
+        self.emit(f"add r{SCRATCH_A}, r{SCRATCH_A}, r{SCRATCH_B}")
+        return SCRATCH_A, 0
+
+    def _load_array(self, instr: LoadArray) -> None:
+        base, offset = self._element_address(instr.symbol, instr.index)
+        dest, back = self._dest(instr.dest)
+        self.emit(f"lwi r{dest}, r{base}, {offset}")
+        self._writeback(back)
+
+    def _store_array(self, instr: StoreArray) -> None:
+        base, offset = self._element_address(instr.symbol, instr.index)
+        # The address lives in SCRATCH_A; SCRATCH_B is free again for the value.
+        src = self._read(instr.src, SCRATCH_B)
+        self.emit(f"swi r{src}, r{base}, {offset}")
+
+    # --------------------------------------------------------------------- calls
+    def _call(self, instr: Call) -> None:
+        if len(instr.args) > len(ARG_REGS):
+            raise CompileError(f"call to {instr.name!r} passes too many arguments")
+        for index, arg in enumerate(instr.args):
+            target = ARG_REGS[index]
+            if isinstance(arg, Const):
+                self.emit(f"li r{target}, {arg.value}")
+            else:
+                home = self.homes[arg.name]
+                if home.kind == "reg":
+                    self.emit(f"add r{target}, r{home.register}, r0")
+                else:
+                    self.emit(f"lwi r{target}, r{STACK_REG}, {home.offset}")
+        self.emit(f"brlid r{LINK_REG}, {instr.name}")
+        self.emit("nop")
+        if instr.dest is not None:
+            home = self.homes[instr.dest.name]
+            if home.kind == "reg":
+                self.emit(f"add r{home.register}, r{RETURN_REG}, r0")
+            else:
+                self.emit(f"swi r{RETURN_REG}, r{STACK_REG}, {home.offset}")
+
+    def _return(self, instr: Return) -> None:
+        if instr.value is not None:
+            if isinstance(instr.value, Const):
+                self.emit(f"li r{RETURN_REG}, {instr.value.value}")
+            else:
+                src = self._read(instr.value, SCRATCH_A)
+                if src != RETURN_REG:
+                    self.emit(f"add r{RETURN_REG}, r{src}, r0")
+        self.emit(f"bri {self._epilogue_label()}")
+
+
+class ModuleCodeGenerator:
+    """Emits a whole assembly module (startup stub, functions, data)."""
+
+    def __init__(self, module: IRModule, config: MicroBlazeConfig,
+                 runtime_routines: Optional[set] = None):
+        self.module = module
+        self.config = config
+        self.runtime_routines = set(runtime_routines or ())
+
+    def generate(self) -> str:
+        from .runtime import runtime_library, startup_stub
+
+        lines: List[str] = [".text", ".entry _start"]
+        lines.extend(startup_stub())
+        for function in self.module.functions:
+            generator = FunctionCodeGenerator(function, self.config)
+            lines.extend(generator.generate())
+        lines.extend(runtime_library(self.runtime_routines, self.config))
+        lines.append(".data")
+        lines.extend(self._data_section())
+        return "\n".join(lines) + "\n"
+
+    def _data_section(self) -> List[str]:
+        lines: List[str] = []
+        for glob in self.module.globals:
+            lines.extend(self._global_words(glob))
+        return lines
+
+    @staticmethod
+    def _global_words(glob: IRGlobal) -> List[str]:
+        lines = [f"{glob.name}:"]
+        initializer = list(glob.initializer)
+        if initializer:
+            # Emit at most 8 words per .word directive for readability.
+            for start in range(0, len(initializer), 8):
+                chunk = initializer[start:start + 8]
+                lines.append("    .word " + ", ".join(str(v) for v in chunk))
+        remaining = glob.num_words - len(initializer)
+        if remaining > 0:
+            lines.append(f"    .space {4 * remaining}")
+        return lines

@@ -1,0 +1,31 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CompileError(Exception):
+    """Any error raised while compiling a kernel-language program.
+
+    Carries an optional ``line`` so that benchmark authors get actionable
+    messages ("matmul.kc, line 17: undefined variable 'jj'").
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexerError(CompileError):
+    """Raised on malformed tokens."""
+
+
+class ParseError(CompileError):
+    """Raised on syntax errors."""
+
+
+class SemanticError(CompileError):
+    """Raised on undefined names, arity mismatches, bad array usage, etc."""

@@ -1,0 +1,356 @@
+"""Three-address intermediate representation (IR).
+
+The compiler lowers the kernel-language AST into a conventional
+three-address code before emitting MicroBlaze assembly.  The IR is linear
+(a list of instructions per function) with explicit labels and jumps, which
+makes the subsequent passes — constant folding, operation lowering that
+honours the MicroBlaze configuration, and code generation — straightforward
+and independently testable.
+
+Operands are either constants (:class:`Const`) or virtual registers
+(:class:`Reg`).  Named program variables and compiler temporaries are both
+virtual registers; the code generator later assigns each a callee-saved
+physical register (or a stack slot when a function is unusually large).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+# --------------------------------------------------------------------------- operands
+@dataclass(frozen=True)
+class Const:
+    """An integer constant operand (32-bit signed)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register operand.
+
+    ``name`` is either a source-level variable name (``"i"``, ``"sum"``) or
+    a compiler temporary of the form ``"%tN"``.
+    """
+
+    name: str
+
+    @property
+    def is_temp(self) -> bool:
+        return self.name.startswith("%")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Const, Reg]
+
+
+class BinOpKind(enum.Enum):
+    """Arithmetic/logical operations available at the IR level."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"  # arithmetic shift right (the language's >> operator)
+
+
+class RelOp(enum.Enum):
+    """Relational operators used by conditional jumps."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    def negate(self) -> "RelOp":
+        return {
+            RelOp.EQ: RelOp.NE,
+            RelOp.NE: RelOp.EQ,
+            RelOp.LT: RelOp.GE,
+            RelOp.LE: RelOp.GT,
+            RelOp.GT: RelOp.LE,
+            RelOp.GE: RelOp.LT,
+        }[self]
+
+    def swap(self) -> "RelOp":
+        """The relation that holds when the two operands are exchanged."""
+        return {
+            RelOp.EQ: RelOp.EQ,
+            RelOp.NE: RelOp.NE,
+            RelOp.LT: RelOp.GT,
+            RelOp.LE: RelOp.GE,
+            RelOp.GT: RelOp.LT,
+            RelOp.GE: RelOp.LE,
+        }[self]
+
+    def evaluate(self, left: int, right: int) -> bool:
+        return {
+            RelOp.EQ: left == right,
+            RelOp.NE: left != right,
+            RelOp.LT: left < right,
+            RelOp.LE: left <= right,
+            RelOp.GT: left > right,
+            RelOp.GE: left >= right,
+        }[self]
+
+
+# --------------------------------------------------------------------------- instructions
+@dataclass
+class IRInstr:
+    """Base class for IR instructions."""
+
+    def defined(self) -> Optional[Reg]:
+        """The virtual register this instruction defines, if any."""
+        return None
+
+    def used(self) -> Tuple[Operand, ...]:
+        """Operands this instruction reads."""
+        return ()
+
+
+@dataclass
+class Label(IRInstr):
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass
+class Jump(IRInstr):
+    target: str
+
+    def __str__(self) -> str:
+        return f"    goto {self.target}"
+
+
+@dataclass
+class CondJump(IRInstr):
+    """Jump to ``target`` when ``left <relop> right`` holds."""
+
+    left: Operand
+    relop: RelOp
+    right: Operand
+    target: str
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"    if {self.left} {self.relop.value} {self.right} goto {self.target}"
+
+
+@dataclass
+class BinOp(IRInstr):
+    dest: Reg
+    op: BinOpKind
+    left: Operand
+    right: Operand
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"    {self.dest} = {self.left} {self.op.value} {self.right}"
+
+
+@dataclass
+class UnOp(IRInstr):
+    dest: Reg
+    op: str  # "neg" or "not"
+    src: Operand
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"    {self.dest} = {self.op} {self.src}"
+
+
+@dataclass
+class Copy(IRInstr):
+    dest: Reg
+    src: Operand
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"    {self.dest} = {self.src}"
+
+
+@dataclass
+class LoadArray(IRInstr):
+    """``dest = symbol[index]`` — word load from a global array."""
+
+    dest: Reg
+    symbol: str
+    index: Operand
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return f"    {self.dest} = {self.symbol}[{self.index}]"
+
+
+@dataclass
+class StoreArray(IRInstr):
+    """``symbol[index] = src`` — word store to a global array."""
+
+    symbol: str
+    index: Operand
+    src: Operand
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.index, self.src)
+
+    def __str__(self) -> str:
+        return f"    {self.symbol}[{self.index}] = {self.src}"
+
+
+@dataclass
+class LoadGlobal(IRInstr):
+    """``dest = symbol`` — load of a global scalar."""
+
+    dest: Reg
+    symbol: str
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def __str__(self) -> str:
+        return f"    {self.dest} = {self.symbol}"
+
+
+@dataclass
+class StoreGlobal(IRInstr):
+    """``symbol = src`` — store to a global scalar."""
+
+    symbol: str
+    src: Operand
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"    {self.symbol} = {self.src}"
+
+
+@dataclass
+class Call(IRInstr):
+    """``dest = name(args...)`` (``dest`` may be ``None`` for void calls)."""
+
+    dest: Optional[Reg]
+    name: str
+    args: Tuple[Operand, ...] = ()
+
+    def defined(self) -> Optional[Reg]:
+        return self.dest
+
+    def used(self) -> Tuple[Operand, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        return f"    {prefix}{self.name}({args})"
+
+
+@dataclass
+class Return(IRInstr):
+    value: Optional[Operand] = None
+
+    def used(self) -> Tuple[Operand, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __str__(self) -> str:
+        return f"    return {self.value}" if self.value is not None else "    return"
+
+
+# --------------------------------------------------------------------------- containers
+@dataclass
+class IRFunction:
+    """The IR of one function."""
+
+    name: str
+    parameters: List[str]
+    body: List[IRInstr] = field(default_factory=list)
+    returns_value: bool = True
+
+    def virtual_registers(self) -> List[str]:
+        """All virtual register names in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for param in self.parameters:
+            seen.setdefault(param, None)
+        for instr in self.body:
+            defined = instr.defined()
+            if defined is not None:
+                seen.setdefault(defined.name, None)
+            for operand in instr.used():
+                if isinstance(operand, Reg):
+                    seen.setdefault(operand.name, None)
+        return list(seen.keys())
+
+    def __str__(self) -> str:
+        header = f"function {self.name}({', '.join(self.parameters)}):"
+        return "\n".join([header] + [str(i) for i in self.body])
+
+
+@dataclass
+class IRGlobal:
+    """A global scalar or array with its initial contents."""
+
+    name: str
+    num_words: int
+    initializer: Tuple[int, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return self.num_words > 1 or bool(self.initializer) and len(self.initializer) > 1
+
+
+@dataclass
+class IRModule:
+    """A whole compiled translation unit in IR form."""
+
+    globals: List[IRGlobal] = field(default_factory=list)
+    functions: List[IRFunction] = field(default_factory=list)
+
+    def function(self, name: str) -> IRFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no IR function named {name!r}")
+
+    def __str__(self) -> str:
+        parts = [f"global {g.name}[{g.num_words}]" for g in self.globals]
+        parts.extend(str(f) for f in self.functions)
+        return "\n\n".join(parts)

@@ -1,0 +1,568 @@
+"""AST → three-address IR lowering with semantic checking.
+
+This pass walks the kernel-language AST, checks names/arities/array usage,
+and emits linear IR per function.  Loops are emitted in the classic
+bottom-test form (body first, the test at the bottom with a *backward*
+conditional branch to the body), which is both what period compilers
+produced and exactly the pattern the warp processor's on-chip profiler
+detects when it watches for backward branches on the instruction bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinaryOp,
+    Block,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    Function,
+    GlobalVar,
+    IfStmt,
+    IntLiteral,
+    LocalDecl,
+    ReturnStmt,
+    Stmt,
+    TranslationUnit,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from .errors import SemanticError
+from .ir import (
+    BinOp,
+    BinOpKind,
+    Call,
+    CondJump,
+    Const,
+    Copy,
+    IRFunction,
+    IRGlobal,
+    IRInstr,
+    IRModule,
+    Jump,
+    Label,
+    LoadArray,
+    LoadGlobal,
+    Operand,
+    Reg,
+    RelOp,
+    Return,
+    StoreArray,
+    StoreGlobal,
+    UnOp,
+)
+
+_BINOP_BY_TOKEN = {
+    "+": BinOpKind.ADD,
+    "-": BinOpKind.SUB,
+    "*": BinOpKind.MUL,
+    "/": BinOpKind.DIV,
+    "%": BinOpKind.MOD,
+    "&": BinOpKind.AND,
+    "|": BinOpKind.OR,
+    "^": BinOpKind.XOR,
+    "<<": BinOpKind.SHL,
+    ">>": BinOpKind.SHR,
+}
+
+_RELOP_BY_TOKEN = {
+    "==": RelOp.EQ,
+    "!=": RelOp.NE,
+    "<": RelOp.LT,
+    "<=": RelOp.LE,
+    ">": RelOp.GT,
+    ">=": RelOp.GE,
+}
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    """Wrap a Python integer to signed 32-bit two's-complement semantics."""
+    value &= _WORD_MASK
+    if value >= 0x8000_0000:
+        value -= 0x1_0000_0000
+    return value
+
+
+@dataclass
+class _FunctionSignature:
+    name: str
+    arity: int
+    returns_value: bool
+
+
+@dataclass
+class _GlobalInfo:
+    name: str
+    is_array: bool
+    num_words: int
+
+
+class IRGenerator:
+    """Lowers a :class:`TranslationUnit` to an :class:`IRModule`."""
+
+    def __init__(self) -> None:
+        self.globals: Dict[str, _GlobalInfo] = {}
+        self.functions: Dict[str, _FunctionSignature] = {}
+        self._body: List[IRInstr] = []
+        self._scope: Dict[str, Reg] = {}
+        self._temp_pool: List[str] = []
+        self._next_temp = 0
+        self._next_label = 0
+        self._function_name = ""
+        self._loop_stack: List[Tuple[str, str]] = []  # (break_label, continue_label)
+
+    # ------------------------------------------------------------------ driver
+    def generate(self, unit: TranslationUnit) -> IRModule:
+        module = IRModule()
+        for decl in unit.globals:
+            info = self._declare_global(decl)
+            num_words = info.num_words
+            module.globals.append(
+                IRGlobal(name=decl.name, num_words=num_words,
+                         initializer=tuple(_wrap32(v) for v in decl.initializer))
+            )
+        for func in unit.functions:
+            if func.name in self.functions:
+                raise SemanticError(f"duplicate function {func.name!r}", func.line)
+            if func.name in self.globals:
+                raise SemanticError(
+                    f"{func.name!r} declared both as global and function", func.line
+                )
+            self.functions[func.name] = _FunctionSignature(
+                func.name, len(func.parameters), func.returns_value
+            )
+        if "main" not in self.functions:
+            raise SemanticError("program has no 'main' function")
+        for func in unit.functions:
+            module.functions.append(self._lower_function(func))
+        return module
+
+    def _declare_global(self, decl: GlobalVar) -> _GlobalInfo:
+        if decl.name in self.globals:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.size is not None:
+            num_words = decl.size
+            if num_words <= 0:
+                raise SemanticError(f"array {decl.name!r} must have positive size",
+                                    decl.line)
+            if len(decl.initializer) > num_words:
+                raise SemanticError(
+                    f"too many initializers for {decl.name!r}", decl.line
+                )
+            info = _GlobalInfo(decl.name, True, num_words)
+        else:
+            if len(decl.initializer) > 1:
+                raise SemanticError(
+                    f"scalar {decl.name!r} initialised with a list", decl.line
+                )
+            info = _GlobalInfo(decl.name, False, 1)
+        self.globals[decl.name] = info
+        return info
+
+    # ---------------------------------------------------------------- functions
+    def _lower_function(self, func: Function) -> IRFunction:
+        self._body = []
+        self._scope = {}
+        self._temp_pool = []
+        self._next_temp = 0
+        self._next_label = 0
+        self._function_name = func.name
+        self._loop_stack = []
+
+        if len(func.parameters) > 6:
+            raise SemanticError(
+                f"function {func.name!r} has more than 6 parameters", func.line
+            )
+        for param in func.parameters:
+            if param.name in self._scope:
+                raise SemanticError(f"duplicate parameter {param.name!r}", param.line)
+            self._scope[param.name] = Reg(param.name)
+
+        self._statement(func.body)
+        # Fall off the end: synthesise "return 0" / "return".
+        if not self._body or not isinstance(self._body[-1], Return):
+            self._body.append(Return(Const(0) if func.returns_value else None))
+
+        return IRFunction(
+            name=func.name,
+            parameters=[p.name for p in func.parameters],
+            body=self._body,
+            returns_value=func.returns_value,
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _emit(self, instr: IRInstr) -> None:
+        self._body.append(instr)
+
+    def _new_temp(self) -> Reg:
+        if self._temp_pool:
+            return Reg(self._temp_pool.pop())
+        name = f"%t{self._next_temp}"
+        self._next_temp += 1
+        return Reg(name)
+
+    def _release(self, operand: Operand) -> None:
+        """Return a compiler temporary to the free pool after its last use."""
+        if isinstance(operand, Reg) and operand.is_temp and operand.name not in self._temp_pool:
+            self._temp_pool.append(operand.name)
+
+    def _new_label(self, hint: str) -> str:
+        name = f"L_{self._function_name}_{hint}_{self._next_label}"
+        self._next_label += 1
+        return name
+
+    def _lookup_scalar(self, name: str, line: int) -> Optional[Reg]:
+        """Resolve ``name`` as a scalar: local register or global scalar."""
+        if name in self._scope:
+            return self._scope[name]
+        return None
+
+    # --------------------------------------------------------------- statements
+    def _statement(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for inner in stmt.statements:
+                self._statement(inner)
+        elif isinstance(stmt, LocalDecl):
+            self._local_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, IfStmt):
+            self._if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._while(stmt)
+        elif isinstance(stmt, DoWhileStmt):
+            self._do_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._for(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            self._return(stmt)
+        elif isinstance(stmt, BreakStmt):
+            if not self._loop_stack:
+                raise SemanticError("'break' outside of a loop", stmt.line)
+            self._emit(Jump(self._loop_stack[-1][0]))
+        elif isinstance(stmt, ContinueStmt):
+            if not self._loop_stack:
+                raise SemanticError("'continue' outside of a loop", stmt.line)
+            self._emit(Jump(self._loop_stack[-1][1]))
+        elif isinstance(stmt, ExprStmt):
+            value = self._expression(stmt.expression)
+            self._release(value)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unsupported statement {type(stmt).__name__}", stmt.line)
+
+    def _local_decl(self, stmt: LocalDecl) -> None:
+        if stmt.name in self._scope:
+            raise SemanticError(f"duplicate local {stmt.name!r}", stmt.line)
+        register = Reg(stmt.name)
+        self._scope[stmt.name] = register
+        if stmt.initializer is not None:
+            value = self._expression(stmt.initializer)
+            self._emit(Copy(register, value))
+            self._release(value)
+        else:
+            self._emit(Copy(register, Const(0)))
+
+    def _assign(self, stmt: Assign) -> None:
+        value = self._expression(stmt.value)
+        target = stmt.target
+        if isinstance(target, VarRef):
+            local = self._lookup_scalar(target.name, target.line)
+            if local is not None:
+                self._emit(Copy(local, value))
+            else:
+                info = self.globals.get(target.name)
+                if info is None:
+                    raise SemanticError(f"undefined variable {target.name!r}", target.line)
+                if info.is_array:
+                    raise SemanticError(
+                        f"array {target.name!r} used without an index", target.line
+                    )
+                self._emit(StoreGlobal(target.name, value))
+        elif isinstance(target, ArrayRef):
+            info = self.globals.get(target.name)
+            if info is None or not info.is_array:
+                raise SemanticError(f"{target.name!r} is not a global array", target.line)
+            index = self._expression(target.index)
+            self._emit(StoreArray(target.name, index, value))
+            self._release(index)
+        else:  # pragma: no cover - parser prevents this
+            raise SemanticError("invalid assignment target", stmt.line)
+        self._release(value)
+
+    def _if(self, stmt: IfStmt) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        target = else_label if stmt.else_body is not None else end_label
+        self._cond_jump(stmt.condition, target, jump_if_true=False)
+        self._statement(stmt.then_body)
+        if stmt.else_body is not None:
+            self._emit(Jump(end_label))
+            self._emit(Label(else_label))
+            self._statement(stmt.else_body)
+        self._emit(Label(end_label))
+
+    def _while(self, stmt: WhileStmt) -> None:
+        body_label = self._new_label("loop")
+        test_label = self._new_label("test")
+        end_label = self._new_label("endloop")
+        self._emit(Jump(test_label))
+        self._emit(Label(body_label))
+        self._loop_stack.append((end_label, test_label))
+        self._statement(stmt.body)
+        self._loop_stack.pop()
+        self._emit(Label(test_label))
+        self._cond_jump(stmt.condition, body_label, jump_if_true=True)
+        self._emit(Label(end_label))
+
+    def _do_while(self, stmt: DoWhileStmt) -> None:
+        body_label = self._new_label("loop")
+        test_label = self._new_label("test")
+        end_label = self._new_label("endloop")
+        self._emit(Label(body_label))
+        self._loop_stack.append((end_label, test_label))
+        self._statement(stmt.body)
+        self._loop_stack.pop()
+        self._emit(Label(test_label))
+        self._cond_jump(stmt.condition, body_label, jump_if_true=True)
+        self._emit(Label(end_label))
+
+    def _for(self, stmt: ForStmt) -> None:
+        body_label = self._new_label("loop")
+        update_label = self._new_label("update")
+        test_label = self._new_label("test")
+        end_label = self._new_label("endloop")
+        if stmt.init is not None:
+            self._statement(stmt.init)
+        self._emit(Jump(test_label))
+        self._emit(Label(body_label))
+        self._loop_stack.append((end_label, update_label))
+        self._statement(stmt.body)
+        self._loop_stack.pop()
+        self._emit(Label(update_label))
+        if stmt.update is not None:
+            self._statement(stmt.update)
+        self._emit(Label(test_label))
+        if stmt.condition is not None:
+            self._cond_jump(stmt.condition, body_label, jump_if_true=True)
+        else:
+            self._emit(Jump(body_label))
+        self._emit(Label(end_label))
+
+    def _return(self, stmt: ReturnStmt) -> None:
+        signature = self.functions[self._function_name]
+        if stmt.value is not None:
+            if not signature.returns_value:
+                raise SemanticError(
+                    f"void function {self._function_name!r} returns a value", stmt.line
+                )
+            value = self._expression(stmt.value)
+            self._emit(Return(value))
+            self._release(value)
+        else:
+            self._emit(Return(Const(0) if signature.returns_value else None))
+
+    # ------------------------------------------------------------- conditions
+    def _cond_jump(self, expr: Expr, target: str, jump_if_true: bool) -> None:
+        """Emit control flow that jumps to ``target`` when the truth value of
+        ``expr`` equals ``jump_if_true``."""
+        if isinstance(expr, BinaryOp) and expr.op in _RELOP_BY_TOKEN:
+            left = self._expression(expr.left)
+            right = self._expression(expr.right)
+            relop = _RELOP_BY_TOKEN[expr.op]
+            if not jump_if_true:
+                relop = relop.negate()
+            self._emit(CondJump(left, relop, right, target))
+            self._release(left)
+            self._release(right)
+            return
+        if isinstance(expr, BinaryOp) and expr.op == "&&":
+            if jump_if_true:
+                skip = self._new_label("and")
+                self._cond_jump(expr.left, skip, jump_if_true=False)
+                self._cond_jump(expr.right, target, jump_if_true=True)
+                self._emit(Label(skip))
+            else:
+                self._cond_jump(expr.left, target, jump_if_true=False)
+                self._cond_jump(expr.right, target, jump_if_true=False)
+            return
+        if isinstance(expr, BinaryOp) and expr.op == "||":
+            if jump_if_true:
+                self._cond_jump(expr.left, target, jump_if_true=True)
+                self._cond_jump(expr.right, target, jump_if_true=True)
+            else:
+                skip = self._new_label("or")
+                self._cond_jump(expr.left, skip, jump_if_true=True)
+                self._cond_jump(expr.right, target, jump_if_true=False)
+                self._emit(Label(skip))
+            return
+        if isinstance(expr, UnaryOp) and expr.op == "!":
+            self._cond_jump(expr.operand, target, jump_if_true=not jump_if_true)
+            return
+        if isinstance(expr, IntLiteral):
+            truth = expr.value != 0
+            if truth == jump_if_true:
+                self._emit(Jump(target))
+            return
+        value = self._expression(expr)
+        relop = RelOp.NE if jump_if_true else RelOp.EQ
+        self._emit(CondJump(value, relop, Const(0), target))
+        self._release(value)
+
+    # ------------------------------------------------------------- expressions
+    def _expression(self, expr: Expr) -> Operand:
+        if isinstance(expr, IntLiteral):
+            return Const(_wrap32(expr.value))
+        if isinstance(expr, VarRef):
+            return self._var_ref(expr)
+        if isinstance(expr, ArrayRef):
+            return self._array_ref(expr)
+        if isinstance(expr, UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, CallExpr):
+            return self._call(expr)
+        raise SemanticError(f"unsupported expression {type(expr).__name__}", expr.line)
+
+    def _var_ref(self, expr: VarRef) -> Operand:
+        local = self._lookup_scalar(expr.name, expr.line)
+        if local is not None:
+            return local
+        info = self.globals.get(expr.name)
+        if info is None:
+            raise SemanticError(f"undefined variable {expr.name!r}", expr.line)
+        if info.is_array:
+            raise SemanticError(f"array {expr.name!r} used without an index", expr.line)
+        dest = self._new_temp()
+        self._emit(LoadGlobal(dest, expr.name))
+        return dest
+
+    def _array_ref(self, expr: ArrayRef) -> Operand:
+        info = self.globals.get(expr.name)
+        if info is None or not info.is_array:
+            raise SemanticError(f"{expr.name!r} is not a global array", expr.line)
+        index = self._expression(expr.index)
+        dest = self._new_temp()
+        self._emit(LoadArray(dest, expr.name, index))
+        self._release(index)
+        return dest
+
+    def _unary(self, expr: UnaryOp) -> Operand:
+        if expr.op == "!":
+            return self._materialize_condition(expr)
+        operand = self._expression(expr.operand)
+        if isinstance(operand, Const):
+            if expr.op == "-":
+                return Const(_wrap32(-operand.value))
+            if expr.op == "~":
+                return Const(_wrap32(~operand.value))
+        dest = self._new_temp()
+        self._emit(UnOp(dest, "neg" if expr.op == "-" else "not", operand))
+        self._release(operand)
+        return dest
+
+    def _binary(self, expr: BinaryOp) -> Operand:
+        if expr.op in _RELOP_BY_TOKEN or expr.op in ("&&", "||"):
+            return self._materialize_condition(expr)
+        kind = _BINOP_BY_TOKEN[expr.op]
+        left = self._expression(expr.left)
+        right = self._expression(expr.right)
+        folded = self._fold(kind, left, right, expr.line)
+        if folded is not None:
+            # Only release operands that are not themselves the folded result
+            # (e.g. ``x + 0`` folds to ``x``, which stays live in the caller).
+            if folded is not left:
+                self._release(left)
+            if folded is not right:
+                self._release(right)
+            return folded
+        dest = self._new_temp()
+        self._emit(BinOp(dest, kind, left, right))
+        self._release(left)
+        self._release(right)
+        return dest
+
+    def _fold(self, kind: BinOpKind, left: Operand, right: Operand,
+              line: int) -> Optional[Operand]:
+        """Constant folding and trivial algebraic simplification."""
+        if isinstance(left, Const) and isinstance(right, Const):
+            a, b = left.value, right.value
+            try:
+                value = {
+                    BinOpKind.ADD: lambda: a + b,
+                    BinOpKind.SUB: lambda: a - b,
+                    BinOpKind.MUL: lambda: a * b,
+                    BinOpKind.DIV: lambda: int(a / b) if b else 0,
+                    BinOpKind.MOD: lambda: int(a - int(a / b) * b) if b else 0,
+                    BinOpKind.AND: lambda: a & b,
+                    BinOpKind.OR: lambda: a | b,
+                    BinOpKind.XOR: lambda: a ^ b,
+                    BinOpKind.SHL: lambda: a << (b & 31),
+                    BinOpKind.SHR: lambda: a >> (b & 31),
+                }[kind]()
+            except ZeroDivisionError:  # pragma: no cover - guarded above
+                value = 0
+            return Const(_wrap32(value))
+        # x + 0, x - 0, x * 1, x << 0, x >> 0, x | 0, x ^ 0 simplify to x.
+        if isinstance(right, Const) and right.value == 0 and kind in (
+            BinOpKind.ADD, BinOpKind.SUB, BinOpKind.SHL, BinOpKind.SHR,
+            BinOpKind.OR, BinOpKind.XOR,
+        ):
+            return left
+        if isinstance(right, Const) and right.value == 1 and kind in (
+            BinOpKind.MUL, BinOpKind.DIV,
+        ):
+            return left
+        if isinstance(left, Const) and left.value == 0 and kind is BinOpKind.ADD:
+            return right
+        if isinstance(left, Const) and left.value == 0 and kind is BinOpKind.MUL:
+            return Const(0)
+        if isinstance(right, Const) and right.value == 0 and kind is BinOpKind.MUL:
+            return Const(0)
+        return None
+
+    def _materialize_condition(self, expr: Expr) -> Operand:
+        """Produce the 0/1 value of a boolean expression in value context."""
+        dest = self._new_temp()
+        skip = self._new_label("bool")
+        self._emit(Copy(dest, Const(0)))
+        self._cond_jump(expr, skip, jump_if_true=False)
+        self._emit(Copy(dest, Const(1)))
+        self._emit(Label(skip))
+        return dest
+
+    def _call(self, expr: CallExpr) -> Operand:
+        signature = self.functions.get(expr.name)
+        if signature is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != signature.arity:
+            raise SemanticError(
+                f"{expr.name!r} expects {signature.arity} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        args = [self._expression(arg) for arg in expr.args]
+        dest = self._new_temp() if signature.returns_value else None
+        self._emit(Call(dest, expr.name, tuple(args)))
+        for arg in args:
+            self._release(arg)
+        if dest is None:
+            return Const(0)
+        return dest
+
+
+def lower_to_ir(unit: TranslationUnit) -> IRModule:
+    """Convenience wrapper around :class:`IRGenerator`."""
+    return IRGenerator().generate(unit)

@@ -1,0 +1,91 @@
+"""Lexical analysis for the kernel language.
+
+The kernel language ("Kernel-C") is the small C subset in which the
+Powerstone / EEMBC-style benchmark kernels of :mod:`repro.apps` are
+written.  The lexer produces a flat list of :class:`Token` objects; all the
+syntax the parser understands is built from the token kinds defined here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexerError
+
+#: Reserved words of the kernel language.
+KEYWORDS = frozenset({
+    "int", "void", "if", "else", "while", "for", "return", "do", "break", "continue",
+})
+
+#: Multi-character operators, longest first so that the scanner is greedy.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"number"``, ``"ident"``, ``"keyword"``, ``"op"`` or
+    ``"eof"``; ``text`` is the matched source text and ``value`` the numeric
+    value for number tokens.
+    """
+
+    kind: str
+    text: str
+    line: int
+    value: int = 0
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list of tokens terminated by an EOF token."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            snippet = source[position:position + 10]
+            raise LexerError(f"unexpected character sequence {snippet!r}", line)
+        text = match.group(0)
+        line += text.count("\n")
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        token_line = line - text.count("\n")
+        if match.lastgroup == "number":
+            value = int(text, 0)
+            tokens.append(Token("number", text, token_line, value))
+        elif match.lastgroup == "ident":
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, token_line))
+        else:
+            tokens.append(Token("op", text, token_line))
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,175 @@
+"""Configuration-aware operation lowering.
+
+Section 2 of the paper explains how the MicroBlaze's configurable options
+shape the generated code: *"If the MicroBlaze processor is configured
+without the hardware barrel shifter or hardware multiplier, the resulting
+application binary will perform an n-bit shift by using n successive add
+operations"* and *"Without a hardware multiplier, the compiler will use a
+software function to perform every multiplication."*
+
+This pass rewrites IR operations that the selected
+:class:`~repro.microblaze.config.MicroBlazeConfig` cannot execute directly:
+
+===========================  =================================================
+Operation                    Lowering when the unit is absent
+===========================  =================================================
+``mul``                      power-of-two constant → shift, otherwise a call
+                             to the ``__mulsi3`` software multiply routine
+``div``                      call to ``__divsi3``
+``mod``                      always a call to ``__modsi3`` (the ISA has no
+                             remainder instruction)
+``shl``/``shr`` by variable  call to ``__ashl`` / ``__ashr`` when there is
+                             no barrel shifter (constant shifts stay in the
+                             IR and are expanded inline by the code
+                             generator into successive adds / single-bit
+                             shifts)
+===========================  =================================================
+
+The pass records which runtime routines it introduced so the driver links
+only the library code the program actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..microblaze.config import MicroBlazeConfig
+from .ir import (
+    BinOp,
+    BinOpKind,
+    Call,
+    Const,
+    Copy,
+    IRFunction,
+    IRInstr,
+    IRModule,
+    Operand,
+)
+
+#: Runtime-library entry points the lowering pass may introduce.
+RUNTIME_MULTIPLY = "__mulsi3"
+RUNTIME_DIVIDE = "__divsi3"
+RUNTIME_MODULO = "__modsi3"
+RUNTIME_SHIFT_LEFT = "__ashl"
+RUNTIME_SHIFT_RIGHT = "__ashr"
+
+
+def _log2_exact(value: int) -> Optional[int]:
+    """Return k when ``value == 2**k`` (k >= 0), otherwise ``None``."""
+    if value <= 0:
+        return None
+    if value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+@dataclass
+class LoweringResult:
+    """Outcome of lowering one module."""
+
+    module: IRModule
+    runtime_routines: Set[str] = field(default_factory=set)
+
+
+class OperationLowering:
+    """Rewrites IR operations according to the processor configuration."""
+
+    def __init__(self, config: MicroBlazeConfig):
+        self.config = config
+        self.runtime_routines: Set[str] = set()
+
+    # ------------------------------------------------------------------ driver
+    def lower_module(self, module: IRModule) -> LoweringResult:
+        for function in module.functions:
+            function.body = self._lower_body(function)
+        return LoweringResult(module=module, runtime_routines=set(self.runtime_routines))
+
+    def _lower_body(self, function: IRFunction) -> List[IRInstr]:
+        lowered: List[IRInstr] = []
+        for instr in function.body:
+            if isinstance(instr, BinOp):
+                lowered.extend(self._lower_binop(instr))
+            else:
+                lowered.append(instr)
+        return lowered
+
+    # ---------------------------------------------------------------- operations
+    def _lower_binop(self, instr: BinOp) -> List[IRInstr]:
+        kind = instr.op
+        if kind is BinOpKind.MUL:
+            return self._lower_multiply(instr)
+        if kind is BinOpKind.DIV:
+            return self._lower_divide(instr)
+        if kind is BinOpKind.MOD:
+            self.runtime_routines.add(RUNTIME_MODULO)
+            return [Call(instr.dest, RUNTIME_MODULO, (instr.left, instr.right))]
+        if kind in (BinOpKind.SHL, BinOpKind.SHR):
+            return self._lower_shift(instr)
+        return [instr]
+
+    def _lower_multiply(self, instr: BinOp) -> List[IRInstr]:
+        if self.config.use_multiplier:
+            return [instr]
+        # Try to turn a multiply by a power-of-two constant into a shift,
+        # which the shift lowering below may further expand.
+        for first, second in ((instr.left, instr.right), (instr.right, instr.left)):
+            if isinstance(second, Const):
+                shift = _log2_exact(second.value)
+                if shift is not None:
+                    shifted = BinOp(instr.dest, BinOpKind.SHL, first, Const(shift))
+                    return self._lower_shift(shifted)
+        # Multiplication by a constant with few set bits decomposes into a
+        # short shift/add sequence, which is what a production compiler emits
+        # for the address arithmetic of array accesses (e.g. ``i * 14``).
+        for first, second in ((instr.left, instr.right), (instr.right, instr.left)):
+            if isinstance(second, Const) and second.value > 0 \
+                    and bin(second.value).count("1") <= 4:
+                return self._expand_constant_multiply(instr.dest, first, second.value)
+        self.runtime_routines.add(RUNTIME_MULTIPLY)
+        return [Call(instr.dest, RUNTIME_MULTIPLY, (instr.left, instr.right))]
+
+    def _expand_constant_multiply(self, dest, left: Operand, constant: int) -> List[IRInstr]:
+        """Expand ``dest = left * constant`` into shifts and adds."""
+        from .ir import Reg
+
+        instrs: List[IRInstr] = []
+        partial = Reg("%mullo_sum")
+        scratch = Reg("%mullo_term")
+        bits = [b for b in range(constant.bit_length()) if constant & (1 << b)]
+        first_bit = bits[0]
+        first_term = BinOp(partial, BinOpKind.SHL, left, Const(first_bit))
+        instrs.extend(self._lower_shift(first_term) if first_bit else [Copy(partial, left)])
+        for bit in bits[1:]:
+            term = BinOp(scratch, BinOpKind.SHL, left, Const(bit))
+            instrs.extend(self._lower_shift(term))
+            instrs.append(BinOp(partial, BinOpKind.ADD, partial, scratch))
+        instrs.append(Copy(dest, partial))
+        return instrs
+
+    def _lower_divide(self, instr: BinOp) -> List[IRInstr]:
+        if isinstance(instr.right, Const):
+            shift = _log2_exact(instr.right.value)
+            if shift is not None and shift == 0:
+                return [instr]
+        if self.config.use_divider:
+            return [instr]
+        self.runtime_routines.add(RUNTIME_DIVIDE)
+        return [Call(instr.dest, RUNTIME_DIVIDE, (instr.left, instr.right))]
+
+    def _lower_shift(self, instr: BinOp) -> List[IRInstr]:
+        if self.config.use_barrel_shifter:
+            return [instr]
+        if isinstance(instr.right, Const):
+            # Constant shift amounts are expanded inline by the code
+            # generator (n successive adds for a left shift, n single-bit
+            # arithmetic shifts for a right shift), as the paper describes.
+            return [instr]
+        routine = RUNTIME_SHIFT_LEFT if instr.op is BinOpKind.SHL else RUNTIME_SHIFT_RIGHT
+        self.runtime_routines.add(routine)
+        return [Call(instr.dest, routine, (instr.left, instr.right))]
+
+
+def lower_operations(module: IRModule, config: MicroBlazeConfig) -> LoweringResult:
+    """Lower ``module`` for ``config`` (convenience wrapper)."""
+    return OperationLowering(config).lower_module(module)

@@ -1,0 +1,66 @@
+"""Binary-to-CDFG decompilation (the front half of ROCPART).
+
+Rebuilds control-flow graphs from machine words, symbolically executes the
+critical region the profiler selected, and extracts the hardware kernel
+descriptor (induction variables, affine memory access patterns, operation
+counts) that the synthesis flow consumes.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, branch_targets
+from .expr import (
+    BinExpr,
+    Condition,
+    Const,
+    ExpressionBuilder,
+    LiveIn,
+    Load,
+    Mux,
+    Node,
+    OpKind,
+    StoreOp,
+    UnExpr,
+    evaluate,
+    walk,
+)
+from .kernel import (
+    AffineForm,
+    HardwareKernel,
+    InductionVariable,
+    MemoryAccessPattern,
+    OperationCounts,
+    affine_decompose,
+    decompile_and_extract,
+    extract_kernel,
+)
+from .symexec import DecompilationError, SymbolicExecutor, SymbolicLoopBody, decompile_region
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "branch_targets",
+    "BinExpr",
+    "Condition",
+    "Const",
+    "ExpressionBuilder",
+    "LiveIn",
+    "Load",
+    "Mux",
+    "Node",
+    "OpKind",
+    "StoreOp",
+    "UnExpr",
+    "evaluate",
+    "walk",
+    "AffineForm",
+    "HardwareKernel",
+    "InductionVariable",
+    "MemoryAccessPattern",
+    "OperationCounts",
+    "affine_decompose",
+    "decompile_and_extract",
+    "extract_kernel",
+    "DecompilationError",
+    "SymbolicExecutor",
+    "SymbolicLoopBody",
+    "decompile_region",
+]

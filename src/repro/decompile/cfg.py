@@ -1,0 +1,171 @@
+"""Control-flow graph recovery from binaries.
+
+Binary-level partitioning starts by rediscovering program structure that a
+compiler front end would have had for free.  This module rebuilds basic
+blocks and the control-flow graph of a program (or of an address range)
+directly from the machine words in the instruction BRAM, which is also how
+the tests validate that the critical regions chosen by the profiler are
+well-formed natural loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.encoding import decode
+from ..isa.instructions import Instruction, InstrClass
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    start_address: int
+    instructions: List[Instruction] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    @property
+    def end_address(self) -> int:
+        return self.start_address + 4 * (len(self.instructions) - 1)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        return self.instructions[-1] if self.instructions else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"BasicBlock({self.start_address:#x}..{self.end_address:#x})"
+
+
+def branch_targets(instr: Instruction, address: int) -> Tuple[Optional[int], Optional[int]]:
+    """Return ``(taken_target, fallthrough_target)`` byte addresses.
+
+    Register-indirect branches return ``None`` for the taken target because
+    the destination is unknown statically.  ``rtsd`` (return) has no static
+    successor either.
+    """
+    klass = instr.klass
+    fallthrough: Optional[int] = address + 4
+    if not instr.is_branch:
+        return None, fallthrough
+    if klass is InstrClass.RETURN:
+        return None, None
+    if instr.spec.fmt.value == "A":
+        taken = None  # register-indirect
+    elif instr.mnemonic in ("brai", "bralid"):
+        taken = instr.imm
+    else:
+        taken = address + instr.imm
+    if klass is InstrClass.BRANCH_UNCOND:
+        return taken, None
+    if klass is InstrClass.CALL:
+        # Calls return, so the fall-through path continues after the delay slot.
+        return taken, address + 8 if instr.has_delay_slot else address + 4
+    return taken, fallthrough
+
+
+class ControlFlowGraph:
+    """CFG of one program image (or address window within it)."""
+
+    def __init__(self, words: Sequence[int], base_address: int = 0,
+                 start: Optional[int] = None, end: Optional[int] = None):
+        self.base_address = base_address
+        self.start = start if start is not None else base_address
+        self.end = end if end is not None else base_address + 4 * len(words) - 4
+        self.instructions: Dict[int, Instruction] = {}
+        for index, word in enumerate(words):
+            address = base_address + 4 * index
+            if self.start <= address <= self.end:
+                self.instructions[address] = decode(word, address=address)
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._build()
+
+    # -------------------------------------------------------------------- build
+    def _leaders(self) -> Set[int]:
+        leaders: Set[int] = {self.start}
+        for address, instr in self.instructions.items():
+            if not instr.is_branch:
+                continue
+            taken, fallthrough = branch_targets(instr, address)
+            if taken is not None and self.start <= taken <= self.end:
+                leaders.add(taken)
+            after = address + (8 if instr.has_delay_slot else 4)
+            if after <= self.end:
+                leaders.add(after)
+        return leaders
+
+    def _build(self) -> None:
+        leaders = sorted(self._leaders())
+        for index, leader in enumerate(leaders):
+            block = BasicBlock(start_address=leader)
+            address = leader
+            limit = leaders[index + 1] if index + 1 < len(leaders) else self.end + 4
+            while address < limit and address in self.instructions:
+                instr = self.instructions[address]
+                block.instructions.append(instr)
+                if instr.is_branch:
+                    if instr.has_delay_slot and address + 4 in self.instructions \
+                            and address + 4 < limit:
+                        block.instructions.append(self.instructions[address + 4])
+                    address += 8 if instr.has_delay_slot else 4
+                    break
+                address += 4
+            if block.instructions:
+                self.blocks[leader] = block
+        self._link()
+
+    def _link(self) -> None:
+        for leader, block in self.blocks.items():
+            terminator = None
+            for instr in block.instructions:
+                if instr.is_branch:
+                    terminator = instr
+            if terminator is None:
+                next_address = block.end_address + 4
+                if next_address in self.blocks:
+                    block.successors.append(next_address)
+            else:
+                taken, fallthrough = branch_targets(terminator, terminator.address)
+                for target in (taken, fallthrough):
+                    if target is not None and target in self.blocks:
+                        block.successors.append(target)
+        for leader, block in self.blocks.items():
+            for successor in block.successors:
+                self.blocks[successor].predecessors.append(leader)
+
+    # ------------------------------------------------------------------ queries
+    def block_at(self, address: int) -> Optional[BasicBlock]:
+        return self.blocks.get(address)
+
+    def block_containing(self, address: int) -> Optional[BasicBlock]:
+        for block in self.blocks.values():
+            if block.start_address <= address <= block.end_address:
+                return block
+        return None
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """``(source_block, target_block)`` pairs where target <= source."""
+        edges = []
+        for leader, block in self.blocks.items():
+            for successor in block.successors:
+                if successor <= leader:
+                    edges.append((leader, successor))
+        return edges
+
+    def natural_loop(self, header: int, latch: int) -> Set[int]:
+        """Blocks of the natural loop with the given header and latch block."""
+        if header not in self.blocks or latch not in self.blocks:
+            return set()
+        loop = {header, latch}
+        worklist = [latch]
+        while worklist:
+            current = worklist.pop()
+            for predecessor in self.blocks[current].predecessors:
+                if predecessor not in loop and current != header:
+                    loop.add(predecessor)
+                    worklist.append(predecessor)
+        return loop
+
+    def num_blocks(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,358 @@
+"""Symbolic dataflow expressions used by binary decompilation.
+
+The dynamic partitioning module decompiles the selected critical region
+into a control/data-flow graph.  The nodes defined here represent the data
+side of that graph: values computed by one loop iteration expressed over
+the registers live at loop entry (:class:`LiveIn`), constants recovered
+from immediates, memory reads, and word-level operators.  Conditional
+behaviour inside the loop body (an ``if`` inside the loop) is represented
+by :class:`Mux` nodes, i.e. the decompiler if-converts simple forward
+branches.
+
+Expressions form a DAG: structurally identical nodes are shared through
+:class:`ExpressionBuilder`, which is what makes the later hardware cost
+estimation (one adder per distinct addition, wires for shared sub-terms)
+faithful to what a synthesis tool would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+class OpKind(enum.Enum):
+    """Word-level operator kinds of the dataflow graph."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    ANDN = "andn"
+    SHL = "shl"
+    SHR_LOGICAL = "shr_l"
+    SHR_ARITH = "shr_a"
+    SEXT8 = "sext8"
+    SEXT16 = "sext16"
+    NEG = "neg"
+    NOT = "not"
+    CMP_SIGN = "cmp_sign"    # sign(b - a) in {-1, 0, +1}
+    CMP_SIGN_U = "cmp_sign_u"
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of all DFG nodes; ``node_id`` is assigned by the builder."""
+
+    node_id: int = field(compare=False, default=-1)
+
+
+@dataclass(frozen=True)
+class Const(Node):
+    value: int = 0
+
+    def __str__(self) -> str:
+        return f"{_signed(self.value)}"
+
+
+@dataclass(frozen=True)
+class LiveIn(Node):
+    """The value of architectural register ``register`` at loop entry."""
+
+    register: int = 0
+
+    def __str__(self) -> str:
+        return f"r{self.register}_in"
+
+
+@dataclass(frozen=True)
+class BinExpr(Node):
+    op: OpKind = OpKind.ADD
+    left: "Node" = None
+    right: "Node" = None
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnExpr(Node):
+    op: OpKind = OpKind.NEG
+    operand: "Node" = None
+
+    def __str__(self) -> str:
+        return f"({self.op.value} {self.operand})"
+
+
+@dataclass(frozen=True)
+class Load(Node):
+    """A memory word/half/byte read at ``address`` (an expression)."""
+
+    address: "Node" = None
+    width: int = 4
+    sequence: int = 0  # program order of the access within the iteration
+
+    def __str__(self) -> str:
+        return f"mem{8 * self.width}[{self.address}]"
+
+
+@dataclass(frozen=True)
+class Mux(Node):
+    """``condition ? if_true : if_false`` produced by if-conversion."""
+
+    condition: "Node" = None
+    if_true: "Node" = None
+    if_false: "Node" = None
+
+    def __str__(self) -> str:
+        return f"({self.condition} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass(frozen=True)
+class Condition(Node):
+    """A boolean node: ``value <relation> 0`` over a word expression."""
+
+    value: "Node" = None
+    relation: str = "ne"  # eq, ne, lt, le, gt, ge against zero
+
+    def __str__(self) -> str:
+        return f"({self.value} {self.relation} 0)"
+
+
+@dataclass
+class StoreOp:
+    """A memory write performed by one loop iteration.
+
+    ``guard`` is ``None`` for unconditional stores, otherwise the store only
+    happens when the guard condition evaluates true.
+    """
+
+    address: Node
+    value: Node
+    width: int = 4
+    guard: Optional[Node] = None
+    sequence: int = 0
+
+    def __str__(self) -> str:
+        text = f"mem{8 * self.width}[{self.address}] = {self.value}"
+        if self.guard is not None:
+            text = f"if {self.guard}: {text}"
+        return text
+
+
+class ExpressionBuilder:
+    """Builds a structurally-hashed expression DAG."""
+
+    def __init__(self) -> None:
+        self._nodes: List[Node] = []
+        self._cache: Dict[Tuple, Node] = {}
+
+    # ------------------------------------------------------------------ basics
+    def _intern(self, key: Tuple, factory) -> Node:
+        node = self._cache.get(key)
+        if node is None:
+            node = factory(len(self._nodes))
+            self._nodes.append(node)
+            self._cache[key] = node
+        return node
+
+    def const(self, value: int) -> Const:
+        value &= WORD_MASK
+        return self._intern(("const", value), lambda i: Const(node_id=i, value=value))
+
+    def live_in(self, register: int) -> LiveIn:
+        return self._intern(("live", register), lambda i: LiveIn(node_id=i, register=register))
+
+    def binary(self, op: OpKind, left: Node, right: Node) -> Node:
+        folded = self._fold_binary(op, left, right)
+        if folded is not None:
+            return folded
+        key = ("bin", op, left.node_id, right.node_id)
+        return self._intern(key, lambda i: BinExpr(node_id=i, op=op, left=left, right=right))
+
+    def unary(self, op: OpKind, operand: Node) -> Node:
+        if isinstance(operand, Const):
+            value = operand.value
+            if op is OpKind.NEG:
+                return self.const(-value)
+            if op is OpKind.NOT:
+                return self.const(~value)
+            if op is OpKind.SEXT8:
+                return self.const(_signed(value & 0xFF if value & 0x80 == 0 else value | ~0xFF))
+            if op is OpKind.SEXT16:
+                return self.const(_signed(value & 0xFFFF if value & 0x8000 == 0 else value | ~0xFFFF))
+        key = ("un", op, operand.node_id)
+        return self._intern(key, lambda i: UnExpr(node_id=i, op=op, operand=operand))
+
+    def load(self, address: Node, width: int, sequence: int) -> Load:
+        key = ("load", address.node_id, width, sequence)
+        return self._intern(key, lambda i: Load(node_id=i, address=address, width=width,
+                                                sequence=sequence))
+
+    def mux(self, condition: Node, if_true: Node, if_false: Node) -> Node:
+        if if_true is if_false:
+            return if_true
+        key = ("mux", condition.node_id, if_true.node_id, if_false.node_id)
+        return self._intern(key, lambda i: Mux(node_id=i, condition=condition,
+                                               if_true=if_true, if_false=if_false))
+
+    def condition(self, value: Node, relation: str) -> Node:
+        key = ("cond", value.node_id, relation)
+        return self._intern(key, lambda i: Condition(node_id=i, value=value,
+                                                     relation=relation))
+
+    # -------------------------------------------------------------- simplifier
+    def _fold_binary(self, op: OpKind, left: Node, right: Node) -> Optional[Node]:
+        """Constant folding and identities applied while building the DAG."""
+        if isinstance(left, Const) and isinstance(right, Const):
+            a, b = left.value, right.value
+            sa, sb = _signed(a), _signed(b)
+            table = {
+                OpKind.ADD: lambda: a + b,
+                OpKind.SUB: lambda: a - b,
+                OpKind.MUL: lambda: a * b,
+                OpKind.AND: lambda: a & b,
+                OpKind.OR: lambda: a | b,
+                OpKind.XOR: lambda: a ^ b,
+                OpKind.ANDN: lambda: a & ~b,
+                OpKind.SHL: lambda: a << (b & 31),
+                OpKind.SHR_LOGICAL: lambda: a >> (b & 31),
+                OpKind.SHR_ARITH: lambda: sa >> (b & 31),
+                OpKind.CMP_SIGN: lambda: (1 if sb > sa else 0 if sb == sa else -1),
+                OpKind.CMP_SIGN_U: lambda: (1 if b > a else 0 if a == b else -1),
+            }
+            if op in table:
+                return self.const(table[op]())
+        if isinstance(right, Const) and right.value == 0:
+            if op in (OpKind.ADD, OpKind.SUB, OpKind.OR, OpKind.XOR, OpKind.SHL,
+                      OpKind.SHR_LOGICAL, OpKind.SHR_ARITH):
+                return left
+            if op is OpKind.AND:
+                return self.const(0)
+        if isinstance(left, Const) and left.value == 0:
+            if op in (OpKind.ADD, OpKind.OR, OpKind.XOR):
+                return right
+            if op in (OpKind.AND, OpKind.MUL, OpKind.SHL,
+                      OpKind.SHR_LOGICAL, OpKind.SHR_ARITH):
+                return self.const(0)
+        if isinstance(right, Const) and right.value == 0 and op is OpKind.MUL:
+            return self.const(0)
+        return None
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+
+def walk(node: Node) -> Iterable[Node]:
+    """Yield ``node`` and every node reachable from it (depth first, deduped)."""
+    seen = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen or current is None:
+            continue
+        seen.add(id(current))
+        yield current
+        if isinstance(current, BinExpr):
+            stack.extend([current.left, current.right])
+        elif isinstance(current, UnExpr):
+            stack.append(current.operand)
+        elif isinstance(current, Load):
+            stack.append(current.address)
+        elif isinstance(current, Mux):
+            stack.extend([current.condition, current.if_true, current.if_false])
+        elif isinstance(current, Condition):
+            stack.append(current.value)
+
+
+def evaluate(node: Node, live_values: Dict[int, int], memory_read, loads_cache: Dict[int, int]) -> int:
+    """Evaluate ``node`` for one iteration.
+
+    ``live_values`` maps architectural register numbers to their values at
+    the start of the iteration, ``memory_read(address, width)`` performs a
+    memory read, and ``loads_cache`` memoises Load nodes so that each load
+    node reads memory exactly once per iteration.
+    Returns an unsigned 32-bit value (conditions return 0/1).
+    """
+    if isinstance(node, Const):
+        return node.value & WORD_MASK
+    if isinstance(node, LiveIn):
+        return live_values.get(node.register, 0) & WORD_MASK
+    if isinstance(node, Load):
+        if node.node_id not in loads_cache:
+            address = evaluate(node.address, live_values, memory_read, loads_cache)
+            loads_cache[node.node_id] = memory_read(address, node.width) & WORD_MASK
+        return loads_cache[node.node_id]
+    if isinstance(node, UnExpr):
+        value = evaluate(node.operand, live_values, memory_read, loads_cache)
+        if node.op is OpKind.NEG:
+            return (-value) & WORD_MASK
+        if node.op is OpKind.NOT:
+            return (~value) & WORD_MASK
+        if node.op is OpKind.SEXT8:
+            return (_signed((value & 0xFF) | (0xFFFFFF00 if value & 0x80 else 0))) & WORD_MASK
+        if node.op is OpKind.SEXT16:
+            return (_signed((value & 0xFFFF) | (0xFFFF0000 if value & 0x8000 else 0))) & WORD_MASK
+        raise ValueError(f"unknown unary op {node.op}")
+    if isinstance(node, Mux):
+        condition = evaluate(node.condition, live_values, memory_read, loads_cache)
+        chosen = node.if_true if condition else node.if_false
+        return evaluate(chosen, live_values, memory_read, loads_cache)
+    if isinstance(node, Condition):
+        value = _signed(evaluate(node.value, live_values, memory_read, loads_cache))
+        relation = node.relation
+        result = {
+            "eq": value == 0,
+            "ne": value != 0,
+            "lt": value < 0,
+            "le": value <= 0,
+            "gt": value > 0,
+            "ge": value >= 0,
+        }[relation]
+        return int(result)
+    if isinstance(node, BinExpr):
+        a = evaluate(node.left, live_values, memory_read, loads_cache)
+        b = evaluate(node.right, live_values, memory_read, loads_cache)
+        sa, sb = _signed(a), _signed(b)
+        op = node.op
+        if op is OpKind.ADD:
+            return (a + b) & WORD_MASK
+        if op is OpKind.SUB:
+            return (a - b) & WORD_MASK
+        if op is OpKind.MUL:
+            return (a * b) & WORD_MASK
+        if op is OpKind.AND:
+            return a & b
+        if op is OpKind.OR:
+            return a | b
+        if op is OpKind.XOR:
+            return a ^ b
+        if op is OpKind.ANDN:
+            return a & ~b & WORD_MASK
+        if op is OpKind.SHL:
+            return (a << (b & 31)) & WORD_MASK
+        if op is OpKind.SHR_LOGICAL:
+            return a >> (b & 31)
+        if op is OpKind.SHR_ARITH:
+            return (sa >> (b & 31)) & WORD_MASK
+        if op is OpKind.CMP_SIGN:
+            return (1 if sb > sa else 0 if sb == sa else -1) & WORD_MASK
+        if op is OpKind.CMP_SIGN_U:
+            return (1 if b > a else 0 if a == b else -1) & WORD_MASK
+        raise ValueError(f"unknown binary op {op}")
+    raise TypeError(f"cannot evaluate node {node!r}")

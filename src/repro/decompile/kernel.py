@@ -1,0 +1,311 @@
+"""Hardware-kernel extraction: induction variables, access patterns, CDFG.
+
+After symbolic execution has produced the dataflow view of one loop
+iteration, this module recovers the information the WCLA needs:
+
+* **induction variables** — registers whose per-iteration update is
+  ``r = r + constant`` (the loop counter the loop-control hardware tracks);
+* **memory access patterns** — for every load and store, an affine
+  decomposition of the address over the live-in registers.  Accesses that
+  are affine in the induction variable(s) (constant stride) can be handled
+  by the data address generator; anything else makes the kernel ineligible
+  for partitioning, mirroring the paper's "regular access patterns"
+  restriction;
+* **operation statistics** used by synthesis to size the datapath.
+
+The result is a :class:`HardwareKernel`, the hand-off object between the
+decompiler and the synthesis/technology-mapping flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..profiler.profiler import CriticalRegion
+from .expr import (
+    BinExpr,
+    Condition,
+    Const,
+    LiveIn,
+    Load,
+    Mux,
+    Node,
+    OpKind,
+    StoreOp,
+    UnExpr,
+    walk,
+)
+from .symexec import DecompilationError, SymbolicLoopBody
+
+
+# --------------------------------------------------------------------------- affine forms
+@dataclass
+class AffineForm:
+    """``constant + sum(coefficient[r] * LiveIn(r))`` over live-in registers."""
+
+    constant: int = 0
+    coefficients: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, other: "AffineForm", scale: int = 1) -> "AffineForm":
+        result = AffineForm(constant=self.constant + scale * other.constant,
+                            coefficients=dict(self.coefficients))
+        for register, coefficient in other.coefficients.items():
+            result.coefficients[register] = result.coefficients.get(register, 0) \
+                + scale * coefficient
+        result.coefficients = {r: c for r, c in result.coefficients.items() if c != 0}
+        return result
+
+    def scaled(self, factor: int) -> "AffineForm":
+        return AffineForm(constant=self.constant * factor,
+                          coefficients={r: c * factor for r, c in self.coefficients.items()})
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coefficients
+
+
+def affine_decompose(node: Node) -> Optional[AffineForm]:
+    """Decompose ``node`` into an affine form, or ``None`` if it is not affine."""
+    if isinstance(node, Const):
+        value = node.value
+        if value >= 0x8000_0000:
+            value -= 0x1_0000_0000
+        return AffineForm(constant=value)
+    if isinstance(node, LiveIn):
+        return AffineForm(coefficients={node.register: 1})
+    if isinstance(node, BinExpr):
+        left = affine_decompose(node.left)
+        right = affine_decompose(node.right)
+        if node.op is OpKind.ADD and left and right:
+            return left.add(right)
+        if node.op is OpKind.SUB and left and right:
+            return left.add(right, scale=-1)
+        if node.op is OpKind.MUL and left and right:
+            if right.is_constant:
+                return left.scaled(right.constant)
+            if left.is_constant:
+                return right.scaled(left.constant)
+        if node.op is OpKind.SHL and left and right and right.is_constant \
+                and 0 <= right.constant < 32:
+            return left.scaled(1 << right.constant)
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------- descriptors
+@dataclass
+class InductionVariable:
+    """A register updated as ``r = r + step`` each iteration."""
+
+    register: int
+    step: int
+
+    def __str__(self) -> str:
+        sign = "+" if self.step >= 0 else "-"
+        return f"r{self.register} {sign}= {abs(self.step)}"
+
+
+@dataclass
+class MemoryAccessPattern:
+    """One load or store with its affine address description."""
+
+    is_store: bool
+    width: int
+    affine: Optional[AffineForm]
+    stride_per_iteration: Optional[int]
+    guarded: bool = False
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether the data address generator can produce this access."""
+        return self.affine is not None and self.stride_per_iteration is not None
+
+
+@dataclass
+class OperationCounts:
+    """Word-level operation counts of one iteration's dataflow graph."""
+
+    add_sub: int = 0
+    multiply: int = 0
+    logic: int = 0
+    shift_constant: int = 0
+    shift_variable: int = 0
+    compare: int = 0
+    mux: int = 0
+    sign_extend: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.add_sub + self.multiply + self.logic + self.shift_constant
+                + self.shift_variable + self.compare + self.mux + self.sign_extend
+                + self.loads + self.stores)
+
+
+@dataclass
+class HardwareKernel:
+    """Everything the synthesis flow needs about one critical region."""
+
+    region: CriticalRegion
+    body: SymbolicLoopBody
+    induction_variables: List[InductionVariable]
+    memory_accesses: List[MemoryAccessPattern]
+    operations: OperationCounts
+    live_in_registers: Tuple[int, ...]
+    live_out_registers: Tuple[int, ...]
+    partitionable: bool = True
+    rejection_reason: Optional[str] = None
+
+    @property
+    def loads_per_iteration(self) -> int:
+        return self.operations.loads
+
+    @property
+    def stores_per_iteration(self) -> int:
+        return self.operations.stores
+
+    @property
+    def memory_accesses_per_iteration(self) -> int:
+        return self.operations.loads + self.operations.stores
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel at {self.region}",
+            f"  live-in registers : {sorted(self.live_in_registers)}",
+            f"  live-out registers: {sorted(self.live_out_registers)}",
+            f"  induction         : {', '.join(str(v) for v in self.induction_variables) or 'none'}",
+            f"  memory accesses   : {self.operations.loads} loads, "
+            f"{self.operations.stores} stores per iteration",
+            f"  operations        : {self.operations.add_sub} add/sub, "
+            f"{self.operations.multiply} mul, {self.operations.logic} logic, "
+            f"{self.operations.shift_constant} const-shift, {self.operations.mux} mux",
+        ]
+        if not self.partitionable:
+            lines.append(f"  NOT partitionable: {self.rejection_reason}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- extraction
+def find_induction_variables(body: SymbolicLoopBody) -> List[InductionVariable]:
+    """Registers whose update is ``LiveIn(reg) + constant``."""
+    result: List[InductionVariable] = []
+    for register, update in body.register_updates.items():
+        if isinstance(update, BinExpr) and update.op in (OpKind.ADD, OpKind.SUB):
+            left, right = update.left, update.right
+            step: Optional[int] = None
+            if isinstance(left, LiveIn) and left.register == register \
+                    and isinstance(right, Const):
+                step = right.value if update.op is OpKind.ADD else -right.value
+            elif isinstance(right, LiveIn) and right.register == register \
+                    and isinstance(left, Const) and update.op is OpKind.ADD:
+                step = left.value
+            if step is not None:
+                if step >= 0x8000_0000:
+                    step -= 0x1_0000_0000
+                result.append(InductionVariable(register=register, step=step))
+    return result
+
+
+def classify_memory_accesses(body: SymbolicLoopBody,
+                             induction: List[InductionVariable]) -> List[MemoryAccessPattern]:
+    """Affine-classify every load and store of the loop body."""
+    steps = {variable.register: variable.step for variable in induction}
+    accesses: List[MemoryAccessPattern] = []
+
+    def classify(address: Node, is_store: bool, width: int, guarded: bool) -> None:
+        affine = affine_decompose(address)
+        stride: Optional[int] = None
+        if affine is not None:
+            stride = 0
+            for register, coefficient in affine.coefficients.items():
+                if register in steps:
+                    stride += coefficient * steps[register]
+                # Coefficients on non-induction live-ins are loop invariant
+                # and only contribute to the base address.
+        accesses.append(MemoryAccessPattern(is_store=is_store, width=width,
+                                            affine=affine,
+                                            stride_per_iteration=stride,
+                                            guarded=guarded))
+
+    for load in body.loads:
+        classify(load.address, is_store=False, width=load.width, guarded=False)
+    for store in body.stores:
+        classify(store.address, is_store=True, width=store.width,
+                 guarded=store.guard is not None)
+    return accesses
+
+
+def count_operations(body: SymbolicLoopBody) -> OperationCounts:
+    """Count distinct word-level operations across the iteration's DAG."""
+    counts = OperationCounts()
+    seen = set()
+    for root in body.roots():
+        for node in walk(root):
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            if isinstance(node, BinExpr):
+                if node.op in (OpKind.ADD, OpKind.SUB):
+                    counts.add_sub += 1
+                elif node.op is OpKind.MUL:
+                    counts.multiply += 1
+                elif node.op in (OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ANDN):
+                    counts.logic += 1
+                elif node.op in (OpKind.SHL, OpKind.SHR_ARITH, OpKind.SHR_LOGICAL):
+                    if isinstance(node.right, Const):
+                        counts.shift_constant += 1
+                    else:
+                        counts.shift_variable += 1
+                elif node.op in (OpKind.CMP_SIGN, OpKind.CMP_SIGN_U):
+                    counts.compare += 1
+            elif isinstance(node, UnExpr):
+                if node.op in (OpKind.SEXT8, OpKind.SEXT16):
+                    counts.sign_extend += 1
+                else:
+                    counts.add_sub += 1
+            elif isinstance(node, Mux):
+                counts.mux += 1
+            elif isinstance(node, Condition):
+                counts.compare += 1
+            elif isinstance(node, Load):
+                counts.loads += 1
+    counts.stores = len(body.stores)
+    return counts
+
+
+def extract_kernel(body: SymbolicLoopBody) -> HardwareKernel:
+    """Build the :class:`HardwareKernel` descriptor for a decompiled region."""
+    induction = find_induction_variables(body)
+    accesses = classify_memory_accesses(body, induction)
+    operations = count_operations(body)
+
+    partitionable = True
+    reason: Optional[str] = None
+    if not induction:
+        partitionable = False
+        reason = "no induction variable found for the loop-control hardware"
+    elif any(not access.is_regular for access in accesses):
+        partitionable = False
+        reason = "memory access pattern is not affine (DADG cannot generate it)"
+
+    return HardwareKernel(
+        region=body.region,
+        body=body,
+        induction_variables=induction,
+        memory_accesses=accesses,
+        operations=operations,
+        live_in_registers=tuple(sorted(body.live_in_registers)),
+        live_out_registers=tuple(sorted(body.written_registers)),
+        partitionable=partitionable,
+        rejection_reason=reason,
+    )
+
+
+def decompile_and_extract(text_words, region: CriticalRegion) -> HardwareKernel:
+    """Convenience wrapper: symbolic execution followed by kernel extraction."""
+    from .symexec import decompile_region
+
+    body = decompile_region(text_words, region)
+    return extract_kernel(body)

@@ -1,0 +1,324 @@
+"""Symbolic execution of a critical region's binary code.
+
+Given the address range of the loop the profiler selected, this module
+re-executes the loop body *symbolically*, producing for one generic
+iteration:
+
+* the new value of every register the body writes, as an expression over
+  the registers live at loop entry (:class:`~repro.decompile.expr.LiveIn`),
+  constants, and memory reads;
+* the memory stores the body performs (with guards for stores inside an
+  ``if``);
+* the loop-continuation condition evaluated by the backward branch.
+
+Simple forward conditional branches inside the body (an ``if`` without an
+``else``) are if-converted into :class:`~repro.decompile.expr.Mux` nodes.
+Anything the on-chip tools could not handle — subroutine calls, indirect
+branches, branches that leave the region — raises
+:class:`DecompilationError`, which the dynamic partitioning module treats
+as "leave this kernel in software".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.encoding import decode
+from ..isa.instructions import Instruction, InstrClass
+from ..profiler.profiler import CriticalRegion
+from .expr import (
+    Condition,
+    ExpressionBuilder,
+    Load,
+    Node,
+    OpKind,
+    StoreOp,
+)
+
+
+class DecompilationError(Exception):
+    """Raised when the selected region cannot be decompiled to hardware."""
+
+
+_NEGATED_RELATION = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                     "gt": "le", "le": "gt"}
+
+_LOAD_WIDTHS = {"lw": 4, "lwi": 4, "lhu": 2, "lhui": 2, "lbu": 1, "lbui": 1}
+_STORE_WIDTHS = {"sw": 4, "swi": 4, "sh": 2, "shi": 2, "sb": 1, "sbi": 1}
+
+
+@dataclass
+class SymbolicLoopBody:
+    """The dataflow view of one loop iteration."""
+
+    builder: ExpressionBuilder
+    region: CriticalRegion
+    register_updates: Dict[int, Node] = field(default_factory=dict)
+    stores: List[StoreOp] = field(default_factory=list)
+    loads: List[Load] = field(default_factory=list)
+    continue_condition: Optional[Node] = None
+    live_in_registers: Set[int] = field(default_factory=set)
+    written_registers: Set[int] = field(default_factory=set)
+    num_instructions: int = 0
+
+    def roots(self) -> List[Node]:
+        """All expression roots of the iteration (for DAG walks)."""
+        roots: List[Node] = list(self.register_updates.values())
+        for store in self.stores:
+            roots.extend([store.address, store.value])
+            if store.guard is not None:
+                roots.append(store.guard)
+        if self.continue_condition is not None:
+            roots.append(self.continue_condition)
+        return roots
+
+
+class SymbolicExecutor:
+    """Symbolically executes the instructions of one critical region."""
+
+    def __init__(self, text_words: Sequence[int], region: CriticalRegion,
+                 base_address: int = 0):
+        self.region = region
+        self.builder = ExpressionBuilder()
+        self.instructions: List[Instruction] = []
+        for address in range(region.start_address, region.end_address + 4, 4):
+            index = (address - base_address) // 4
+            if index < 0 or index >= len(text_words):
+                raise DecompilationError(
+                    f"region address {address:#x} outside the program text"
+                )
+            self.instructions.append(decode(text_words[index], address=address))
+        self._state: Dict[int, Node] = {}
+        self._live_in: Set[int] = set()
+        self._written: Set[int] = set()
+        self._stores: List[StoreOp] = []
+        self._loads: List[Load] = []
+        self._sequence = 0
+        self._imm_latch: Optional[int] = None
+
+    # ------------------------------------------------------------------ state
+    def _read_reg(self, register: int, state: Dict[int, Node]) -> Node:
+        if register == 0:
+            return self.builder.const(0)
+        if register not in state:
+            if register not in self._written:
+                self._live_in.add(register)
+            state[register] = self.builder.live_in(register)
+        return state[register]
+
+    def _write_reg(self, register: int, value: Node, state: Dict[int, Node]) -> None:
+        if register == 0:
+            return
+        state[register] = value
+        self._written.add(register)
+
+    def _effective_imm(self, instr: Instruction) -> int:
+        if self._imm_latch is None:
+            return instr.imm
+        value = ((self._imm_latch << 16) | (instr.imm & 0xFFFF)) & 0xFFFFFFFF
+        return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+    # ------------------------------------------------------------------ driver
+    def run(self) -> SymbolicLoopBody:
+        if not self.instructions:
+            raise DecompilationError("empty region")
+        final = self.instructions[-1]
+        if final.klass is not InstrClass.BRANCH_COND or final.imm >= 0:
+            raise DecompilationError(
+                "region does not end in a backward conditional branch"
+            )
+        continue_condition = self._execute_block(self._state, 0, len(self.instructions) - 1)
+        # The final backward branch provides the loop-continue condition.
+        tested = self._read_reg(final.ra, self._state)
+        relation = final.spec.condition.name.lower()
+        condition = self.builder.condition(tested, relation)
+        if continue_condition is not None:
+            raise DecompilationError("unexpected dangling condition")
+
+        body = SymbolicLoopBody(
+            builder=self.builder,
+            region=self.region,
+            register_updates=dict(self._state),
+            stores=list(self._stores),
+            loads=list(self._loads),
+            continue_condition=condition,
+            live_in_registers=set(self._live_in),
+            written_registers=set(self._written),
+            num_instructions=len(self.instructions),
+        )
+        # Registers that were only read keep their live-in value and need no
+        # update entry.
+        for register in list(body.register_updates):
+            node = body.register_updates[register]
+            if node.__class__.__name__ == "LiveIn" and node.register == register:
+                del body.register_updates[register]
+        return body
+
+    # ----------------------------------------------------------------- blocks
+    def _execute_block(self, state: Dict[int, Node], start: int, end: int,
+                       guard: Optional[Node] = None) -> Optional[Node]:
+        """Execute instructions [start, end) updating ``state`` in place."""
+        index = start
+        while index < end:
+            instr = self.instructions[index]
+            klass = instr.klass
+
+            if klass is InstrClass.BRANCH_COND:
+                index = self._forward_branch(instr, index, end, state, guard)
+                continue
+            if instr.is_branch:
+                raise DecompilationError(
+                    f"unsupported branch {instr.mnemonic} inside the region at "
+                    f"{instr.address:#x}"
+                )
+            self._execute_straightline(instr, state, guard)
+            index += 1
+        return None
+
+    def _forward_branch(self, instr: Instruction, index: int, end: int,
+                        state: Dict[int, Node], guard: Optional[Node]) -> int:
+        """Handle an if-then pattern: a forward conditional branch that skips
+        a block of straight-line code within the region."""
+        if guard is not None:
+            raise DecompilationError("nested conditionals are not supported")
+        if instr.spec.fmt.value != "B" or instr.imm <= 0:
+            raise DecompilationError(
+                f"unsupported conditional branch at {instr.address:#x}"
+            )
+        target_address = instr.address + instr.imm
+        target_index = (target_address - self.region.start_address) // 4
+        if not index < target_index <= end:
+            raise DecompilationError(
+                f"conditional branch at {instr.address:#x} leaves the region"
+            )
+        tested = self._read_reg(instr.ra, state)
+        relation = instr.spec.condition.name.lower()
+        skip_condition = self.builder.condition(tested, relation)
+        execute_condition = self.builder.condition(
+            tested, _NEGATED_RELATION[relation]
+        )
+        # Execute the then-block on a copy of the state, guarded.
+        then_state = dict(state)
+        self._execute_block(then_state, index + 1, target_index,
+                            guard=execute_condition)
+        # Merge: a register keeps its old value when the branch (skip) is
+        # taken and receives the then-block value otherwise.
+        for register, then_value in then_state.items():
+            old_value = state.get(register)
+            if old_value is None:
+                old_value = self._read_reg(register, state)
+            if then_value is not old_value:
+                merged = self.builder.mux(skip_condition, old_value, then_value)
+                self._write_reg(register, merged, state)
+        return target_index
+
+    # ------------------------------------------------------------ instructions
+    def _execute_straightline(self, instr: Instruction, state: Dict[int, Node],
+                              guard: Optional[Node]) -> None:
+        mnemonic = instr.mnemonic
+        klass = instr.klass
+        builder = self.builder
+
+        if klass is InstrClass.IMM_PREFIX:
+            self._imm_latch = instr.imm & 0xFFFF
+            return
+        imm = self._effective_imm(instr)
+        self._imm_latch = None
+
+        if klass is InstrClass.LOAD:
+            base = self._read_reg(instr.ra, state)
+            offset = self._read_reg(instr.rb, state) if instr.spec.fmt.value == "A" \
+                else builder.const(imm)
+            address = builder.binary(OpKind.ADD, base, offset)
+            load = builder.load(address, _LOAD_WIDTHS[mnemonic], self._sequence)
+            self._sequence += 1
+            self._loads.append(load)
+            self._write_reg(instr.rd, load, state)
+            return
+        if klass is InstrClass.STORE:
+            base = self._read_reg(instr.ra, state)
+            offset = self._read_reg(instr.rb, state) if instr.spec.fmt.value == "A" \
+                else builder.const(imm)
+            address = builder.binary(OpKind.ADD, base, offset)
+            value = self._read_reg(instr.rd, state)
+            self._stores.append(StoreOp(address=address, value=value,
+                                        width=_STORE_WIDTHS[mnemonic], guard=guard,
+                                        sequence=self._sequence))
+            self._sequence += 1
+            return
+        if instr.is_branch:  # pragma: no cover - handled by caller
+            raise DecompilationError("branch reached straight-line executor")
+
+        result = self._data_expression(instr, imm, state)
+        self._write_reg(instr.rd, result, state)
+
+    def _data_expression(self, instr: Instruction, imm: int,
+                         state: Dict[int, Node]) -> Node:
+        builder = self.builder
+        mnemonic = instr.mnemonic
+        ra = self._read_reg(instr.ra, state)
+        rb = self._read_reg(instr.rb, state)
+        imm_node = builder.const(imm)
+
+        if mnemonic in ("add", "addk"):
+            return builder.binary(OpKind.ADD, ra, rb)
+        if mnemonic in ("addi", "addik"):
+            return builder.binary(OpKind.ADD, ra, imm_node)
+        if mnemonic in ("rsub", "rsubk"):
+            return builder.binary(OpKind.SUB, rb, ra)
+        if mnemonic in ("rsubi", "rsubik"):
+            return builder.binary(OpKind.SUB, imm_node, ra)
+        if mnemonic == "mul":
+            return builder.binary(OpKind.MUL, ra, rb)
+        if mnemonic == "muli":
+            return builder.binary(OpKind.MUL, ra, imm_node)
+        if mnemonic == "and":
+            return builder.binary(OpKind.AND, ra, rb)
+        if mnemonic == "andi":
+            return builder.binary(OpKind.AND, ra, imm_node)
+        if mnemonic == "or":
+            return builder.binary(OpKind.OR, ra, rb)
+        if mnemonic == "ori":
+            return builder.binary(OpKind.OR, ra, imm_node)
+        if mnemonic == "xor":
+            return builder.binary(OpKind.XOR, ra, rb)
+        if mnemonic == "xori":
+            return builder.binary(OpKind.XOR, ra, imm_node)
+        if mnemonic == "andn":
+            return builder.binary(OpKind.ANDN, ra, rb)
+        if mnemonic == "andni":
+            return builder.binary(OpKind.ANDN, ra, imm_node)
+        if mnemonic == "sra":
+            return builder.binary(OpKind.SHR_ARITH, ra, builder.const(1))
+        if mnemonic in ("srl", "src"):
+            return builder.binary(OpKind.SHR_LOGICAL, ra, builder.const(1))
+        if mnemonic == "sext8":
+            return builder.unary(OpKind.SEXT8, ra)
+        if mnemonic == "sext16":
+            return builder.unary(OpKind.SEXT16, ra)
+        if mnemonic == "bsll":
+            return builder.binary(OpKind.SHL, ra, rb)
+        if mnemonic == "bslli":
+            return builder.binary(OpKind.SHL, ra, builder.const(instr.imm & 31))
+        if mnemonic == "bsrl":
+            return builder.binary(OpKind.SHR_LOGICAL, ra, rb)
+        if mnemonic == "bsrli":
+            return builder.binary(OpKind.SHR_LOGICAL, ra, builder.const(instr.imm & 31))
+        if mnemonic == "bsra":
+            return builder.binary(OpKind.SHR_ARITH, ra, rb)
+        if mnemonic == "bsrai":
+            return builder.binary(OpKind.SHR_ARITH, ra, builder.const(instr.imm & 31))
+        if mnemonic == "cmp":
+            return builder.binary(OpKind.CMP_SIGN, ra, rb)
+        if mnemonic == "cmpu":
+            return builder.binary(OpKind.CMP_SIGN_U, ra, rb)
+        raise DecompilationError(
+            f"instruction {mnemonic} at {instr.address:#x} cannot be mapped to hardware"
+        )
+
+
+def decompile_region(text_words: Sequence[int], region: CriticalRegion,
+                     base_address: int = 0) -> SymbolicLoopBody:
+    """Decompile ``region`` of a program into its symbolic loop body."""
+    return SymbolicExecutor(text_words, region, base_address=base_address).run()

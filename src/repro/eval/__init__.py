@@ -1,0 +1,40 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`~repro.eval.figures` — Figure 6 (speedups) and Figure 7 (normalized
+  energy) plus the aggregate claims of Section 4.
+* :mod:`~repro.eval.section2` — the Section 2 configurability study.
+* :mod:`~repro.eval.reporting` — plain-text table rendering.
+"""
+
+from .figures import (
+    BenchmarkEvaluation,
+    EvaluationSuite,
+    PLATFORM_ORDER,
+    evaluate_benchmark,
+    run_evaluation,
+)
+from .reporting import arithmetic_mean, format_percent, format_table, geometric_mean
+from .section2 import (
+    ConfigurabilityEntry,
+    ConfigurabilityStudy,
+    PAPER_CASES,
+    measure_case,
+    run_configurability_study,
+)
+
+__all__ = [
+    "BenchmarkEvaluation",
+    "EvaluationSuite",
+    "PLATFORM_ORDER",
+    "evaluate_benchmark",
+    "run_evaluation",
+    "arithmetic_mean",
+    "format_percent",
+    "format_table",
+    "geometric_mean",
+    "ConfigurabilityEntry",
+    "ConfigurabilityStudy",
+    "PAPER_CASES",
+    "measure_case",
+    "run_configurability_study",
+]

@@ -1,0 +1,54 @@
+"""Plain-text report formatting for the experiment harness.
+
+The paper presents its results as bar charts (Figures 6 and 7); the
+experiment harness reproduces the underlying numbers as aligned text tables
+so they can be diffed, pasted into ``EXPERIMENTS.md``, and asserted on by
+the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned, pipe-separated table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "-+-".join("-" * width for width in widths)
+    output = [line([str(h) for h in headers]), separator]
+    output.extend(line(row) for row in rendered_rows)
+    return "\n".join(output)
+
+
+def format_percent(value: float) -> str:
+    return f"{100.0 * value:.0f}%"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

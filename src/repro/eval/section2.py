@@ -1,0 +1,109 @@
+"""Section 2 configurability study.
+
+Section 2 of the paper quantifies how much the MicroBlaze's configurable
+hardware units matter: ``brev`` runs 2.1x slower when the core is built
+without the barrel shifter and multiplier (its kernel is shift-heavy), and
+``matmul`` runs 1.3x slower without the hardware multiplier (the compiler
+substitutes a software multiply routine).  This module reruns those two
+experiments with our configuration-aware compiler and simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps import build_benchmark
+from ..compiler import compile_source
+from ..isa.instructions import HwUnit
+from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
+from ..microblaze.system import run_program
+from .reporting import format_table
+
+
+@dataclass
+class ConfigurabilityEntry:
+    """One benchmark measured on a full and a reduced configuration."""
+
+    benchmark_name: str
+    removed_units: Tuple[HwUnit, ...]
+    baseline_cycles: int
+    reduced_cycles: int
+    paper_slowdown: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.reduced_cycles / self.baseline_cycles
+
+    @property
+    def removed_description(self) -> str:
+        return " + ".join(unit.value.replace("_", " ") for unit in self.removed_units)
+
+
+@dataclass
+class ConfigurabilityStudy:
+    """The full Section 2 study."""
+
+    entries: List[ConfigurabilityEntry] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["Benchmark", "Units removed", "Baseline cycles",
+                   "Reduced cycles", "Slowdown", "Paper"]
+        rows = [[entry.benchmark_name, entry.removed_description,
+                 entry.baseline_cycles, entry.reduced_cycles,
+                 entry.slowdown, f"{entry.paper_slowdown:.1f}x"]
+                for entry in self.entries]
+        return format_table(headers, rows)
+
+    def entry(self, name: str) -> ConfigurabilityEntry:
+        for candidate in self.entries:
+            if candidate.benchmark_name == name:
+                return candidate
+        raise KeyError(name)
+
+
+#: The two cases the paper reports, with the units it removes and the
+#: slowdowns it quotes.
+PAPER_CASES: Dict[str, Tuple[Tuple[HwUnit, ...], float]] = {
+    "brev": ((HwUnit.BARREL_SHIFTER, HwUnit.MULTIPLIER), 2.1),
+    "matmul": ((HwUnit.MULTIPLIER,), 1.3),
+}
+
+
+def measure_case(benchmark_name: str, removed_units: Tuple[HwUnit, ...],
+                 paper_slowdown: float,
+                 base_config: MicroBlazeConfig = PAPER_CONFIG,
+                 small: bool = False) -> ConfigurabilityEntry:
+    """Measure one benchmark on the full and the reduced configuration."""
+    benchmark = build_benchmark(benchmark_name, small=small)
+    reduced_config = base_config.without(*removed_units)
+
+    baseline_program = compile_source(benchmark.source, name=benchmark.name,
+                                      config=base_config).program
+    reduced_program = compile_source(benchmark.source, name=benchmark.name,
+                                     config=reduced_config).program
+    baseline = run_program(baseline_program, base_config)
+    reduced = run_program(reduced_program, reduced_config)
+    if baseline.return_value != reduced.return_value:
+        raise AssertionError(
+            f"{benchmark_name}: checksums differ between configurations"
+        )
+    return ConfigurabilityEntry(
+        benchmark_name=benchmark_name,
+        removed_units=removed_units,
+        baseline_cycles=baseline.cycles,
+        reduced_cycles=reduced.cycles,
+        paper_slowdown=paper_slowdown,
+    )
+
+
+def run_configurability_study(small: bool = False,
+                              base_config: MicroBlazeConfig = PAPER_CONFIG) -> ConfigurabilityStudy:
+    """Run the full Section 2 study (both paper cases)."""
+    study = ConfigurabilityStudy()
+    for name, (units, paper_slowdown) in PAPER_CASES.items():
+        study.entries.append(measure_case(name, units, paper_slowdown,
+                                          base_config=base_config, small=small))
+    return study

@@ -1,0 +1,65 @@
+"""Warp configurable logic architecture (WCLA), placement, routing, timing.
+
+Models Figure 3 of the paper: the data address generator with loop-control
+hardware, the three interface registers, the 32-bit MAC, and the simple
+configurable logic fabric together with the lean placement
+(:mod:`~repro.fabric.place`) and negotiated-congestion routing
+(:mod:`~repro.fabric.route`) algorithms that configure it, the clock/area
+estimation (:mod:`~repro.fabric.implementation`), and the cycle-counted
+functional execution engine and OPB peripheral
+(:mod:`~repro.fabric.hw_exec`).
+"""
+
+from .architecture import AreaReport, DEFAULT_WCLA, FabricParameters, WclaParameters
+from .hw_exec import (
+    HardwareExecutionError,
+    KernelInvocation,
+    WclaExecutionEngine,
+    WclaPeripheral,
+)
+from .implementation import (
+    ConfigurationBitstream,
+    HardwareImplementation,
+    TimingReport,
+    build_bitstream,
+    estimate_timing,
+    implement_kernel,
+)
+from .place import (
+    FabricCapacityError,
+    GreedyPlacer,
+    Net,
+    PlacedComponent,
+    PlacementResult,
+    build_component_netlist,
+    place_kernel,
+)
+from .route import PathfinderLiteRouter, RoutedNet, RoutingResult, route_kernel
+
+__all__ = [
+    "AreaReport",
+    "DEFAULT_WCLA",
+    "FabricParameters",
+    "WclaParameters",
+    "HardwareExecutionError",
+    "KernelInvocation",
+    "WclaExecutionEngine",
+    "WclaPeripheral",
+    "ConfigurationBitstream",
+    "HardwareImplementation",
+    "TimingReport",
+    "build_bitstream",
+    "estimate_timing",
+    "implement_kernel",
+    "FabricCapacityError",
+    "GreedyPlacer",
+    "Net",
+    "PlacedComponent",
+    "PlacementResult",
+    "build_component_netlist",
+    "place_kernel",
+    "PathfinderLiteRouter",
+    "RoutedNet",
+    "RoutingResult",
+    "route_kernel",
+]

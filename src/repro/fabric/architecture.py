@@ -1,0 +1,105 @@
+"""The warp configurable logic architecture (WCLA) and its simple fabric.
+
+Figure 3 of the paper shows the WCLA: a data address generator (DADG) with
+loop control hardware (LCH), three registers (Reg0, Reg1, Reg2) that source
+and sink the configurable logic, a 32-bit multiplier-accumulator (MAC), and
+a simplified configurable logic fabric used to implement the partitioned
+critical regions.  The fabric was co-designed with lean synthesis,
+technology mapping, placement and routing algorithms (the companion DATE'04
+and DAC'04 papers) so that the whole CAD flow can run on a small embedded
+processor.
+
+This module captures the architecture parameters and the physical timing
+constants used by the placement/routing and clock-estimation models.  The
+delay values follow the UMC 0.18 µm characterisation the paper reports for
+the WCLA (synthesised with Synopsys Design Compiler) and the speed grade of
+the era's low-cost FPGAs (the paper notes the Spartan3's non-processor
+logic can run at up to 250 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FabricParameters:
+    """Geometry and timing of the simple configurable logic fabric."""
+
+    #: Number of combinational-logic-block rows and columns.
+    rows: int = 24
+    columns: int = 24
+    #: LUTs per combinational logic block (the simple fabric uses small CLBs).
+    luts_per_clb: int = 2
+    #: LUT input count (3-input LUTs in the simple fabric).
+    lut_inputs: int = 3
+    #: Routing channel capacity (wires per channel segment).
+    channel_width: int = 8
+    #: Combinational delay through one LUT (ns).
+    lut_delay_ns: float = 0.9
+    #: Routing delay per switch-matrix hop (ns).
+    hop_delay_ns: float = 0.5
+    #: Fixed connection-block delay added per routed net (ns).
+    connection_delay_ns: float = 0.6
+
+    @property
+    def total_clbs(self) -> int:
+        return self.rows * self.columns
+
+    @property
+    def total_luts(self) -> int:
+        return self.total_clbs * self.luts_per_clb
+
+
+@dataclass(frozen=True)
+class WclaParameters:
+    """The full WCLA: fabric plus the dedicated datapath resources."""
+
+    fabric: FabricParameters = field(default_factory=FabricParameters)
+    #: Number of data registers between the fabric and the memory interface.
+    num_registers: int = 3
+    #: Latency of the 32-bit multiplier-accumulator (ns, registered).
+    mac_delay_ns: float = 5.2
+    #: Access time of the dual-ported data BRAM through the DADG (ns).
+    bram_access_ns: float = 3.4
+    #: Register clock-to-out plus setup overhead per cycle (ns).
+    register_overhead_ns: float = 1.0
+    #: The DADG can issue this many memory accesses per cycle (one port of
+    #: the dual-ported data BRAM is reserved for the MicroBlaze).
+    memory_ports: int = 1
+    #: Upper clock bound of the surrounding FPGA fabric (MHz); the paper
+    #: quotes 250 MHz for non-processor Spartan3 logic.
+    max_clock_mhz: float = 250.0
+    #: Number of pipeline stages spent filling/draining per kernel invocation
+    #: (DADG address setup, register load, result write-back).
+    invocation_pipeline_overhead: int = 4
+
+    @property
+    def min_period_ns(self) -> float:
+        return 1e3 / self.max_clock_mhz
+
+
+#: Default WCLA used throughout the experiments.
+DEFAULT_WCLA = WclaParameters()
+
+
+@dataclass
+class AreaReport:
+    """Post-placement area accounting for one kernel's configuration."""
+
+    luts_used: int
+    clbs_used: int
+    clbs_available: int
+    mac_used: bool
+    registers_used: int
+
+    @property
+    def utilization(self) -> float:
+        if self.clbs_available == 0:
+            return 0.0
+        return self.clbs_used / self.clbs_available
+
+    @property
+    def fits(self) -> bool:
+        return self.clbs_used <= self.clbs_available

@@ -1,0 +1,188 @@
+"""Cycle-counted functional execution of hardware kernels.
+
+Two pieces live here:
+
+* :class:`WclaExecutionEngine` — evaluates the decompiled kernel's dataflow
+  graph against the data block RAM, iteration by iteration, exactly as the
+  configured WCLA would, and converts the iteration count into WCLA clock
+  cycles using the implementation's initiation interval and pipeline depth.
+* :class:`WclaPeripheral` — the on-chip-peripheral-bus face of the WCLA
+  (Figure 2): the patched application writes the kernel's live-in registers
+  into the peripheral's register file, pokes the start register, reads the
+  live-out registers back, and continues after the loop.  The peripheral
+  accumulates the hardware cycles and invocation counts that the warp
+  execution model and the energy model consume.
+
+Because the engine executes the *decompiled* dataflow graph rather than the
+original instructions, a matching checksum between the software-only run
+and the warp-processed run is genuine evidence that decompilation,
+synthesis and binary patching preserved the application's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..decompile.expr import evaluate
+from ..microblaze.memory import BlockRAM
+from .implementation import HardwareImplementation
+
+
+class HardwareExecutionError(Exception):
+    """Raised when a hardware kernel fails to terminate within its budget."""
+
+
+@dataclass
+class KernelInvocation:
+    """Statistics of one hardware invocation of the kernel."""
+
+    iterations: int
+    hw_cycles: int
+
+
+class WclaExecutionEngine:
+    """Functionally executes one kernel's dataflow graph."""
+
+    def __init__(self, implementation: HardwareImplementation,
+                 max_iterations_per_invocation: int = 5_000_000):
+        self.implementation = implementation
+        self.kernel = implementation.kernel
+        self.body = implementation.kernel.body
+        self.max_iterations = max_iterations_per_invocation
+
+    def execute(
+        self,
+        live_in: Dict[int, int],
+        memory_read: Callable[[int, int], int],
+        memory_write: Callable[[int, int, int], None],
+    ) -> Tuple[Dict[int, int], KernelInvocation]:
+        """Run the kernel until its continue condition fails.
+
+        ``live_in`` maps architectural register numbers to their values at
+        loop entry; the returned dictionary holds the values of every
+        register the loop writes, as of loop exit.
+        """
+        state = dict(live_in)
+        iterations = 0
+        body = self.body
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise HardwareExecutionError(
+                    f"kernel at {self.kernel.region.start_address:#x} exceeded "
+                    f"{self.max_iterations} iterations"
+                )
+            loads_cache: Dict[int, int] = {}
+            # Evaluate every register update and store against the state at
+            # the start of the iteration, then commit (registered semantics).
+            new_values = {
+                register: evaluate(expr, state, memory_read, loads_cache)
+                for register, expr in body.register_updates.items()
+            }
+            for store in body.stores:
+                if store.guard is not None:
+                    if not evaluate(store.guard, state, memory_read, loads_cache):
+                        continue
+                address = evaluate(store.address, state, memory_read, loads_cache)
+                value = evaluate(store.value, state, memory_read, loads_cache)
+                memory_write(address, value, store.width)
+            keep_running = evaluate(body.continue_condition, state, memory_read,
+                                    loads_cache)
+            state.update(new_values)
+            if not keep_running:
+                break
+        invocation = KernelInvocation(
+            iterations=iterations,
+            hw_cycles=self.implementation.cycles_for_iterations(iterations),
+        )
+        live_out = {register: state[register]
+                    for register in body.register_updates}
+        return live_out, invocation
+
+
+class WclaPeripheral:
+    """The WCLA as a memory-mapped peripheral on the on-chip peripheral bus.
+
+    Register map (word offsets within the peripheral window):
+
+    ========  ====================================================
+    offset    contents
+    ========  ====================================================
+    0x00-0x7C the 32-entry register file mirroring MicroBlaze
+              architectural registers (live-in written by the
+              invocation stub, live-out read back by it)
+    0x80      control: writing 1 starts the configured kernel
+    0x84      status: reads 1 once the kernel has completed
+    0x88      total hardware cycles consumed so far (low 32 bits)
+    0x8C      number of kernel invocations so far
+    ========  ====================================================
+    """
+
+    CONTROL_OFFSET = 0x80
+    STATUS_OFFSET = 0x84
+    CYCLES_OFFSET = 0x88
+    INVOCATIONS_OFFSET = 0x8C
+    WINDOW_SIZE = 0x100
+
+    def __init__(self, base_address: int, implementation: HardwareImplementation,
+                 data_bram: BlockRAM, name: str = "wcla"):
+        self.base_address = base_address
+        self.window_size = self.WINDOW_SIZE
+        self.name = name
+        self.implementation = implementation
+        self.data_bram = data_bram
+        self.engine = WclaExecutionEngine(implementation)
+        self.register_file = [0] * 32
+        self.done = True
+        self.invocations = 0
+        self.total_hw_cycles = 0
+        self.total_iterations = 0
+
+    # ------------------------------------------------------------------- bus API
+    def read(self, offset: int) -> int:
+        if offset < 0x80:
+            return self.register_file[(offset // 4) % 32]
+        if offset == self.STATUS_OFFSET:
+            return 1 if self.done else 0
+        if offset == self.CYCLES_OFFSET:
+            return self.total_hw_cycles & 0xFFFFFFFF
+        if offset == self.INVOCATIONS_OFFSET:
+            return self.invocations & 0xFFFFFFFF
+        return 0
+
+    def write(self, offset: int, value: int) -> None:
+        if offset < 0x80:
+            self.register_file[(offset // 4) % 32] = value & 0xFFFFFFFF
+            return
+        if offset == self.CONTROL_OFFSET and value & 1:
+            self._run_kernel()
+
+    def tick(self, cycles: int) -> None:  # pragma: no cover - time handled analytically
+        return None
+
+    # ------------------------------------------------------------------- engine
+    def _memory_read(self, address: int, width: int) -> int:
+        return self.data_bram.load_port_b(address, width)
+
+    def _memory_write(self, address: int, value: int, width: int) -> None:
+        self.data_bram.store_port_b(address, value, width)
+
+    def _run_kernel(self) -> None:
+        kernel = self.implementation.kernel
+        live_in = {register: self.register_file[register]
+                   for register in kernel.live_in_registers}
+        live_out, invocation = self.engine.execute(
+            live_in, self._memory_read, self._memory_write
+        )
+        for register, value in live_out.items():
+            self.register_file[register] = value & 0xFFFFFFFF
+        self.invocations += 1
+        self.total_iterations += invocation.iterations
+        self.total_hw_cycles += invocation.hw_cycles
+        self.done = True
+
+    # ------------------------------------------------------------------ results
+    @property
+    def total_hw_seconds(self) -> float:
+        return self.total_hw_cycles / (self.implementation.clock_mhz * 1e6)

@@ -1,0 +1,177 @@
+"""Hardware implementation: clock estimation and per-kernel configuration.
+
+This module combines the synthesis, placement, and routing results of one
+kernel into a :class:`HardwareImplementation`: the achievable clock
+frequency, the initiation interval, pipeline depth, area and a cycle model
+for executing ``n`` iterations.  It also produces the configuration
+"bitstream" (a symbolic record of LUT/switch programming) that the dynamic
+partitioning module loads into the WCLA, standing in for the binary
+bitstream the real tools would emit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..decompile.kernel import HardwareKernel
+from ..synthesis.datapath import SynthesisResult
+from .architecture import AreaReport, WclaParameters
+from .place import PlacementResult
+from .route import RoutingResult
+
+
+@dataclass
+class TimingReport:
+    """Where the clock period of a kernel's implementation comes from."""
+
+    period_ns: float
+    fabric_floor_ns: float
+    memory_path_ns: float
+    mac_path_ns: float
+    logic_recurrence_ns: float
+    lut_levels: int
+    average_net_hops: float
+
+    @property
+    def clock_mhz(self) -> float:
+        return 1e3 / self.period_ns
+
+    def limiting_factor(self) -> str:
+        candidates = {
+            "fabric floor": self.fabric_floor_ns,
+            "memory access": self.memory_path_ns,
+            "MAC": self.mac_path_ns,
+            "logic recurrence": self.logic_recurrence_ns,
+        }
+        return max(candidates, key=candidates.get)
+
+
+@dataclass
+class ConfigurationBitstream:
+    """Symbolic configuration of the WCLA for one kernel."""
+
+    kernel_start_address: int
+    lut_configuration_bits: int
+    routing_configuration_bits: int
+    dadg_descriptors: int
+    uses_mac: bool
+
+    @property
+    def total_bits(self) -> int:
+        return self.lut_configuration_bits + self.routing_configuration_bits \
+            + 64 * self.dadg_descriptors + 32
+
+
+@dataclass
+class HardwareImplementation:
+    """A critical region implemented on the WCLA."""
+
+    kernel: HardwareKernel
+    synthesis: SynthesisResult
+    placement: PlacementResult
+    routing: RoutingResult
+    timing: TimingReport
+    wcla: WclaParameters
+    bitstream: ConfigurationBitstream
+
+    # -------------------------------------------------------------- timing API
+    @property
+    def clock_mhz(self) -> float:
+        return self.timing.clock_mhz
+
+    @property
+    def initiation_interval(self) -> int:
+        return self.synthesis.initiation_interval
+
+    @property
+    def pipeline_fill_cycles(self) -> int:
+        return self.wcla.invocation_pipeline_overhead + max(
+            1, math.ceil(self.timing.lut_levels / 6)
+        )
+
+    @property
+    def area(self) -> AreaReport:
+        return self.placement.area
+
+    def cycles_for_iterations(self, iterations: int) -> int:
+        """WCLA clock cycles needed to execute ``iterations`` loop iterations."""
+        if iterations <= 0:
+            return 0
+        return self.pipeline_fill_cycles + iterations * self.initiation_interval
+
+    def seconds_for_iterations(self, iterations: int) -> float:
+        return self.cycles_for_iterations(iterations) / (self.clock_mhz * 1e6)
+
+    def summary(self) -> str:
+        return (
+            f"HW kernel @ {self.kernel.region.start_address:#06x}: "
+            f"{self.clock_mhz:.0f} MHz (limited by {self.timing.limiting_factor()}), "
+            f"II={self.initiation_interval}, "
+            f"{self.synthesis.total_luts} LUTs in {self.area.clbs_used} CLBs, "
+            f"MAC={'yes' if self.synthesis.mac_operations else 'no'}"
+        )
+
+
+def estimate_timing(synthesis: SynthesisResult, routing: RoutingResult,
+                    wcla: WclaParameters) -> TimingReport:
+    """Estimate the achievable clock for one synthesised, routed kernel."""
+    fabric = wcla.fabric
+    average_hops = routing.average_hops
+    per_level_ns = fabric.lut_delay_ns + fabric.connection_delay_ns \
+        + average_hops * fabric.hop_delay_ns / max(1, synthesis.critical_path_levels or 1)
+    logic_path_ns = synthesis.critical_path_levels * per_level_ns
+    # The loop body has `initiation_interval` cycles available per iteration,
+    # so the combinational logic can be spread across that many stages; the
+    # recurrence therefore constrains the period to path / II.
+    logic_recurrence_ns = logic_path_ns / max(1, synthesis.initiation_interval)
+    memory_path_ns = wcla.bram_access_ns + wcla.register_overhead_ns
+    mac_path_ns = (wcla.mac_delay_ns + wcla.register_overhead_ns
+                   if synthesis.mac_operations else 0.0)
+    fabric_floor_ns = wcla.min_period_ns
+    # Congestion that the router could not resolve slows the interconnect.
+    congestion_penalty = 1.0 + 0.1 * routing.overflowed_segments
+    period_ns = max(fabric_floor_ns, memory_path_ns, mac_path_ns,
+                    logic_recurrence_ns) * congestion_penalty
+    return TimingReport(
+        period_ns=period_ns,
+        fabric_floor_ns=fabric_floor_ns,
+        memory_path_ns=memory_path_ns,
+        mac_path_ns=mac_path_ns,
+        logic_recurrence_ns=logic_recurrence_ns,
+        lut_levels=synthesis.critical_path_levels,
+        average_net_hops=average_hops,
+    )
+
+
+def build_bitstream(kernel: HardwareKernel, synthesis: SynthesisResult,
+                    placement: PlacementResult, routing: RoutingResult,
+                    wcla: WclaParameters) -> ConfigurationBitstream:
+    """Derive the symbolic configuration record for the WCLA."""
+    lut_bits = synthesis.total_luts * (1 << wcla.fabric.lut_inputs)
+    routing_bits = routing.total_segments_used * 8
+    return ConfigurationBitstream(
+        kernel_start_address=kernel.region.start_address,
+        lut_configuration_bits=lut_bits,
+        routing_configuration_bits=routing_bits,
+        dadg_descriptors=len(kernel.memory_accesses),
+        uses_mac=synthesis.mac_operations > 0,
+    )
+
+
+def implement_kernel(kernel: HardwareKernel, synthesis: SynthesisResult,
+                     placement: PlacementResult, routing: RoutingResult,
+                     wcla: WclaParameters) -> HardwareImplementation:
+    """Assemble the full hardware implementation record."""
+    timing = estimate_timing(synthesis, routing, wcla)
+    bitstream = build_bitstream(kernel, synthesis, placement, routing, wcla)
+    return HardwareImplementation(
+        kernel=kernel,
+        synthesis=synthesis,
+        placement=placement,
+        routing=routing,
+        timing=timing,
+        wcla=wcla,
+        bitstream=bitstream,
+    )

@@ -1,0 +1,149 @@
+"""Negotiated-congestion routing for the simple fabric ("Pathfinder-lite").
+
+The companion DAC'04 paper describes the just-in-time FPGA router the warp
+processor runs on chip: a lean variant of negotiated-congestion routing on
+the simple fabric's channel graph.  This module implements the same idea at
+the granularity the rest of the flow needs: every placed net is routed as
+an L-shaped path over horizontal and vertical channel segments; channel
+occupancy is tracked; congested segments acquire history costs and the
+offending nets are ripped up and re-routed for a bounded number of
+iterations.  The result is a per-net hop count (which feeds the clock
+estimate) and a congestion report (which can force a slower clock when the
+channels are over capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .architecture import FabricParameters, WclaParameters
+from .place import Net, PlacementResult
+
+Segment = Tuple[str, int, int]  # ("h" | "v", row-or-col index, position)
+
+
+@dataclass
+class RoutedNet:
+    """One routed net with its channel segments."""
+
+    net: Net
+    segments: List[Segment] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        return len(self.segments)
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing a placed kernel."""
+
+    routed_nets: List[RoutedNet]
+    iterations: int
+    max_channel_occupancy: int
+    channel_capacity: int
+    overflowed_segments: int
+    total_segments_used: int
+
+    @property
+    def congested(self) -> bool:
+        return self.overflowed_segments > 0
+
+    @property
+    def average_hops(self) -> float:
+        if not self.routed_nets:
+            return 0.0
+        return sum(net.hops for net in self.routed_nets) / len(self.routed_nets)
+
+    @property
+    def max_hops(self) -> int:
+        return max((net.hops for net in self.routed_nets), default=0)
+
+
+class PathfinderLiteRouter:
+    """Routes two-point nets over the fabric's channel grid."""
+
+    def __init__(self, fabric: FabricParameters, max_iterations: int = 4):
+        self.fabric = fabric
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ paths
+    def _l_path(self, source: Tuple[int, int], sink: Tuple[int, int],
+                corner_first: bool) -> List[Segment]:
+        """An L-shaped path: horizontal then vertical, or vice versa."""
+        segments: List[Segment] = []
+        (r0, c0), (r1, c1) = source, sink
+        if corner_first:
+            # Horizontal leg along the source row, then vertical along sink column.
+            for column in range(min(c0, c1), max(c0, c1)):
+                segments.append(("h", r0, column))
+            for row in range(min(r0, r1), max(r0, r1)):
+                segments.append(("v", c1, row))
+        else:
+            for row in range(min(r0, r1), max(r0, r1)):
+                segments.append(("v", c0, row))
+            for column in range(min(c0, c1), max(c0, c1)):
+                segments.append(("h", r1, column))
+        return segments
+
+    def _path_cost(self, segments: Sequence[Segment], occupancy: Dict[Segment, int],
+                   history: Dict[Segment, float]) -> float:
+        capacity = self.fabric.channel_width
+        cost = 0.0
+        for segment in segments:
+            load = occupancy.get(segment, 0)
+            congestion_penalty = max(0, load + 1 - capacity) * 10.0
+            cost += 1.0 + history.get(segment, 0.0) + congestion_penalty
+        return cost
+
+    # ------------------------------------------------------------------ route
+    def route(self, placement: PlacementResult) -> RoutingResult:
+        nets = placement.nets
+        locations = {name: component.location
+                     for name, component in placement.components.items()}
+        occupancy: Dict[Segment, int] = {}
+        history: Dict[Segment, float] = {}
+        routed: Dict[int, RoutedNet] = {}
+        iterations_done = 0
+
+        for iteration in range(self.max_iterations):
+            iterations_done = iteration + 1
+            occupancy.clear()
+            routed.clear()
+            for index, net in enumerate(nets):
+                source = locations[net.driver]
+                sink = locations[net.sink]
+                if source is None or sink is None or source == sink:
+                    routed[index] = RoutedNet(net=net, segments=[])
+                    continue
+                option_a = self._l_path(source, sink, corner_first=True)
+                option_b = self._l_path(source, sink, corner_first=False)
+                cost_a = self._path_cost(option_a, occupancy, history)
+                cost_b = self._path_cost(option_b, occupancy, history)
+                chosen = option_a if cost_a <= cost_b else option_b
+                for segment in chosen:
+                    occupancy[segment] = occupancy.get(segment, 0) + 1
+                routed[index] = RoutedNet(net=net, segments=chosen)
+            overflowed = [segment for segment, load in occupancy.items()
+                          if load > self.fabric.channel_width]
+            if not overflowed:
+                break
+            for segment in overflowed:
+                history[segment] = history.get(segment, 0.0) + 2.0
+
+        overflowed_segments = sum(1 for load in occupancy.values()
+                                  if load > self.fabric.channel_width)
+        return RoutingResult(
+            routed_nets=list(routed.values()),
+            iterations=iterations_done,
+            max_channel_occupancy=max(occupancy.values(), default=0),
+            channel_capacity=self.fabric.channel_width,
+            overflowed_segments=overflowed_segments,
+            total_segments_used=len(occupancy),
+        )
+
+
+def route_kernel(placement: PlacementResult, wcla: WclaParameters) -> RoutingResult:
+    """Route a placed kernel on the WCLA's fabric."""
+    return PathfinderLiteRouter(wcla.fabric).route(placement)

@@ -1,0 +1,58 @@
+"""Disassembler for MicroBlaze-like binaries.
+
+The disassembler is primarily a debugging and reporting aid: the examples
+print disassembled kernels next to the hardware the dynamic partitioning
+module generated for them, and the tests use it to check that the binary
+patching performed by the DPM leaves the rest of the application intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .encoding import decode
+from .instructions import Instruction
+from .program import Program
+
+
+def disassemble_word(word: int, address: Optional[int] = None) -> Instruction:
+    """Decode a single machine word (thin wrapper over :func:`decode`)."""
+    return decode(word, address=address)
+
+
+def disassemble(words: Iterable[int], base_address: int = 0) -> List[Instruction]:
+    """Decode an instruction-memory image into a list of instructions."""
+    return [decode(word, address=base_address + 4 * i) for i, word in enumerate(words)]
+
+
+def format_instruction(instr: Instruction, labels: Optional[Dict[int, str]] = None) -> str:
+    """Render one instruction as ``address:  mnemonic operands``.
+
+    When ``labels`` maps addresses to names, PC-relative branch targets are
+    annotated with the label they point at, which makes kernel listings in
+    the examples much easier to follow.
+    """
+    address = instr.address if instr.address is not None else 0
+    text = str(instr)
+    if labels and instr.is_branch and instr.spec.fmt.value == "B":
+        target = address + instr.imm
+        if instr.mnemonic in ("brai", "bralid"):
+            target = instr.imm
+        name = labels.get(target)
+        if name:
+            text = f"{text}\t<{name}>"
+    return f"{address:#06x}:  {text}"
+
+
+def listing(program: Program) -> str:
+    """Produce a full disassembly listing of ``program``'s text section."""
+    labels = {sym.address: name for name, sym in program.symbols.items()
+              if sym.section == "text"}
+    lines: List[str] = []
+    for index, word in enumerate(program.text):
+        address = 4 * index
+        if address in labels:
+            lines.append(f"{labels[address]}:")
+        instr = decode(word, address=address)
+        lines.append("    " + format_instruction(instr, labels))
+    return "\n".join(lines)

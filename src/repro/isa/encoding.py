@@ -1,0 +1,163 @@
+"""Binary encoding and decoding of MicroBlaze-like instructions.
+
+The warp processor's dynamic partitioning module works directly on the
+application *binary* stored in the instruction block RAM (Section 3 of the
+paper): the decompiler reads machine words, rebuilds a control/data-flow
+graph, and the binary updater patches words in place.  To make that flow
+realistic this module implements a bit-level encoding closely modelled on
+the published MicroBlaze format:
+
+* 32-bit words, 6-bit major opcode in bits 31..26,
+* TYPE_A: ``rd`` in bits 25..21, ``ra`` in bits 20..16, ``rb`` in bits
+  15..11, an 11-bit function field in bits 10..0,
+* TYPE_B: ``rd``/``ra`` as above and a 16-bit immediate in bits 15..0.
+
+Instructions that share a major opcode are distinguished by a secondary
+function value whose location depends on the opcode group (the low function
+field, the ``rd`` field for conditional branches, the ``ra`` field for
+unconditional branches, or bits 10..9 of the immediate for barrel-shift
+immediates), mirroring the real instruction set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .instructions import OPCODES, Instruction, InstrFormat, OpSpec
+from .registers import to_signed
+
+#: Opcodes whose secondary function value is stored in the ``rd`` field.
+_FUNC_IN_RD = {0x27, 0x2F}
+#: Opcodes whose secondary function value is stored in the ``ra`` field.
+_FUNC_IN_RA = {0x26, 0x2E}
+#: Opcodes whose secondary function value is OR-ed into the immediate field.
+_FUNC_IN_IMM = {0x19}
+
+_IMM_FUNC_MASK = 0x600
+_IMM_VALUE_MASK = 0x1F
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or a word decoded."""
+
+
+def _specs_by_opcode() -> Dict[int, List[OpSpec]]:
+    index: Dict[int, List[OpSpec]] = {}
+    for spec in OPCODES.values():
+        index.setdefault(spec.opcode, []).append(spec)
+    return index
+
+
+_SPECS_BY_OPCODE = _specs_by_opcode()
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` into its 32-bit machine word.
+
+    The immediate of a TYPE_B instruction must fit in 16 bits; values wider
+    than that must be split by the assembler into an ``imm`` prefix followed
+    by the instruction carrying the low half.
+    """
+    spec = instr.spec
+    opcode = spec.opcode
+    rd, ra, rb = instr.rd, instr.ra, instr.rb
+
+    for reg, name in ((rd, "rd"), (ra, "ra"), (rb, "rb")):
+        if not 0 <= reg < 32:
+            raise EncodingError(f"{name} out of range in {instr}: {reg}")
+
+    if opcode in _FUNC_IN_RD:
+        rd = spec.func
+    if opcode in _FUNC_IN_RA:
+        ra = spec.func
+
+    if spec.fmt is InstrFormat.TYPE_A:
+        func = 0 if (opcode in _FUNC_IN_RD or opcode in _FUNC_IN_RA) else spec.func
+        if not 0 <= func <= 0x7FF:
+            raise EncodingError(f"function field out of range for {instr}")
+        return (opcode << 26) | (rd << 21) | (ra << 16) | (rb << 11) | func
+
+    # TYPE_B
+    imm = instr.imm
+    if spec.mnemonic == "imm":
+        if not 0 <= imm <= 0xFFFF:
+            raise EncodingError(f"imm prefix value out of range: {imm}")
+        imm16 = imm
+    elif opcode in _FUNC_IN_IMM:
+        if not 0 <= imm <= 31:
+            raise EncodingError(f"barrel shift amount out of range in {instr}")
+        imm16 = spec.func | (imm & _IMM_VALUE_MASK)
+    else:
+        if not -0x8000 <= imm <= 0x7FFF:
+            raise EncodingError(
+                f"immediate {imm} of {instr} does not fit in a signed 16-bit "
+                "field; an 'imm' prefix instruction is required"
+            )
+        imm16 = imm & 0xFFFF
+    return (opcode << 26) | (rd << 21) | (ra << 16) | imm16
+
+
+def decode(word: int, address: int | None = None) -> Instruction:
+    """Decode a 32-bit machine word back into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = (word >> 26) & 0x3F
+    rd = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+    func_low = word & 0x7FF
+    imm16 = word & 0xFFFF
+
+    candidates = _SPECS_BY_OPCODE.get(opcode)
+    if not candidates:
+        raise EncodingError(f"unknown opcode {opcode:#04x} in word {word:#010x}")
+
+    if len(candidates) == 1:
+        spec = candidates[0]
+    else:
+        if opcode in _FUNC_IN_RD:
+            observed_func = rd
+        elif opcode in _FUNC_IN_RA:
+            observed_func = ra
+        elif opcode in _FUNC_IN_IMM:
+            observed_func = imm16 & _IMM_FUNC_MASK
+        else:
+            observed_func = func_low
+        spec = next((s for s in candidates if s.func == observed_func), None)
+        if spec is None:
+            raise EncodingError(
+                f"no instruction with opcode {opcode:#04x} and function "
+                f"{observed_func:#x} (word {word:#010x})"
+            )
+
+    instr = Instruction(spec.mnemonic, address=address)
+    # Register fields that were overlaid with the function value decode to 0.
+    instr.rd = 0 if (opcode in _FUNC_IN_RD and "rd" not in spec.operands) else rd
+    instr.ra = 0 if (opcode in _FUNC_IN_RA and "ra" not in spec.operands) else ra
+
+    if spec.fmt is InstrFormat.TYPE_A:
+        instr.rb = rb
+    elif spec.mnemonic == "imm":
+        instr.imm = imm16
+    elif opcode in _FUNC_IN_IMM:
+        instr.imm = imm16 & _IMM_VALUE_MASK
+    else:
+        instr.imm = to_signed(imm16, 16)
+    return instr
+
+
+def encode_program(instructions: List[Instruction]) -> List[int]:
+    """Encode a list of instructions into machine words (one word each)."""
+    return [encode(instr) for instr in instructions]
+
+
+def decode_program(words: List[int], base_address: int = 0) -> List[Instruction]:
+    """Decode a list of machine words into instructions with addresses."""
+    return [decode(word, address=base_address + 4 * i) for i, word in enumerate(words)]
+
+
+def roundtrips(instr: Instruction) -> bool:
+    """Return True when encode/decode preserves the instruction fields."""
+    decoded = decode(encode(instr))
+    fields: Tuple[str, ...] = ("mnemonic", "rd", "ra", "rb", "imm")
+    return all(getattr(decoded, f) == getattr(instr, f) for f in fields)

@@ -1,0 +1,425 @@
+"""Instruction set definition for the MicroBlaze-like soft processor core.
+
+This module defines the subset of the Xilinx MicroBlaze instruction set used
+throughout the reproduction: the instruction formats, the per-mnemonic
+operation specifications (:class:`OpSpec`), and the :class:`Instruction`
+container produced by the assembler, the compiler back end, and the binary
+decoder.
+
+The subset covers everything the Powerstone / EEMBC-style benchmark kernels
+need and everything the paper's Section 2 configurability study exercises:
+
+* integer arithmetic (``add``/``rsub`` families, with and without carry-keep),
+* the optional hardware multiplier (``mul``, ``muli``) and divider (``idiv``),
+* logical operations, single-bit shifts and the optional barrel shifter,
+* compare instructions feeding conditional branches,
+* conditional and unconditional branches with and without delay slots,
+  subroutine call (``brlid``) and return (``rtsd``),
+* byte/half/word loads and stores on the local memory bus,
+* the ``imm`` prefix instruction that extends 16-bit immediates to 32 bits.
+
+Encodings follow the published MicroBlaze major-opcode assignments so that
+the binary-level decompilation performed by the dynamic partitioning module
+operates on realistic machine words (see :mod:`repro.isa.encoding`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from .registers import register_name
+
+
+class InstrFormat(enum.Enum):
+    """MicroBlaze instruction formats.
+
+    ``TYPE_A`` instructions operate on three registers (``rd``, ``ra``,
+    ``rb``) and carry an 11-bit function field in the low bits of the word.
+    ``TYPE_B`` instructions replace ``rb`` with a 16-bit signed immediate.
+    """
+
+    TYPE_A = "A"
+    TYPE_B = "B"
+
+
+class InstrClass(enum.Enum):
+    """Coarse behavioural classification used by the timing and power models.
+
+    The classes mirror the groupings the paper discusses when describing the
+    MicroBlaze three-stage pipeline: single-cycle ALU operations, the
+    three-cycle multiplier, the iterative divider, one-to-three cycle
+    branches, and the local-memory-bus loads and stores.
+    """
+
+    ALU = "alu"
+    LOGICAL = "logical"
+    SHIFT = "shift"
+    BARREL_SHIFT = "barrel_shift"
+    MULTIPLY = "multiply"
+    DIVIDE = "divide"
+    COMPARE = "compare"
+    SEXT = "sext"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH_COND = "branch_cond"
+    BRANCH_UNCOND = "branch_uncond"
+    CALL = "call"
+    RETURN = "return"
+    IMM_PREFIX = "imm_prefix"
+
+
+class HwUnit(enum.Enum):
+    """Optional MicroBlaze hardware units selected by the processor config."""
+
+    MULTIPLIER = "multiplier"
+    DIVIDER = "divider"
+    BARREL_SHIFTER = "barrel_shifter"
+
+
+class Condition(enum.IntEnum):
+    """Branch condition codes (encoded in the ``rd`` field of branches)."""
+
+    EQ = 0
+    NE = 1
+    LT = 2
+    LE = 3
+    GT = 4
+    GE = 5
+
+
+#: Maps a conditional-branch mnemonic stem to its condition code.
+CONDITION_BY_STEM: Dict[str, Condition] = {
+    "beq": Condition.EQ,
+    "bne": Condition.NE,
+    "blt": Condition.LT,
+    "ble": Condition.LE,
+    "bgt": Condition.GT,
+    "bge": Condition.GE,
+}
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one mnemonic.
+
+    Attributes
+    ----------
+    mnemonic:
+        Assembly mnemonic, lower case.
+    fmt:
+        Instruction format (:class:`InstrFormat`).
+    klass:
+        Behavioural class used by the timing model.
+    opcode:
+        6-bit major opcode.
+    func:
+        Value of the secondary function field for TYPE_A instructions that
+        share a major opcode (0 when unused).
+    operands:
+        Operand signature as a tuple of field names in assembly order,
+        e.g. ``("rd", "ra", "rb")`` for ``add`` or ``("ra", "imm")`` for
+        ``beqi``.  Stores list ``rd`` first because MicroBlaze stores read
+        the value to be stored from the ``rd`` field.
+    requires:
+        Optional hardware unit that must be present in the processor
+        configuration for the instruction to be legal.
+    delay_slot:
+        True when the instruction executes the following instruction in a
+        branch delay slot.
+    reads / writes:
+        Register fields read and written, used by dataflow analysis during
+        decompilation.
+    condition:
+        For conditional branches, the condition tested against ``ra``.
+    """
+
+    mnemonic: str
+    fmt: InstrFormat
+    klass: InstrClass
+    opcode: int
+    func: int = 0
+    operands: Tuple[str, ...] = ()
+    requires: Optional[HwUnit] = None
+    delay_slot: bool = False
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    condition: Optional[Condition] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.klass in (
+            InstrClass.BRANCH_COND,
+            InstrClass.BRANCH_UNCOND,
+            InstrClass.CALL,
+            InstrClass.RETURN,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self.klass in (InstrClass.LOAD, InstrClass.STORE)
+
+
+def _spec(
+    mnemonic: str,
+    fmt: InstrFormat,
+    klass: InstrClass,
+    opcode: int,
+    *,
+    func: int = 0,
+    operands: Sequence[str],
+    requires: Optional[HwUnit] = None,
+    delay_slot: bool = False,
+    reads: Sequence[str] = (),
+    writes: Sequence[str] = (),
+    condition: Optional[Condition] = None,
+) -> OpSpec:
+    return OpSpec(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        klass=klass,
+        opcode=opcode,
+        func=func,
+        operands=tuple(operands),
+        requires=requires,
+        delay_slot=delay_slot,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        condition=condition,
+    )
+
+
+def _build_opcode_table() -> Dict[str, OpSpec]:
+    """Construct the full mnemonic -> :class:`OpSpec` table."""
+    table: Dict[str, OpSpec] = {}
+
+    def add(spec: OpSpec) -> None:
+        if spec.mnemonic in table:
+            raise ValueError(f"duplicate mnemonic {spec.mnemonic}")
+        table[spec.mnemonic] = spec
+
+    A, B = InstrFormat.TYPE_A, InstrFormat.TYPE_B
+    RRR = ("rd", "ra", "rb")
+    RRI = ("rd", "ra", "imm")
+
+    # ----- integer add / subtract -------------------------------------------------
+    add(_spec("add", A, InstrClass.ALU, 0x00, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("rsub", A, InstrClass.ALU, 0x01, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("addk", A, InstrClass.ALU, 0x04, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("rsubk", A, InstrClass.ALU, 0x05, func=0x000, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("cmp", A, InstrClass.COMPARE, 0x05, func=0x001, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("cmpu", A, InstrClass.COMPARE, 0x05, func=0x003, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("addi", B, InstrClass.ALU, 0x08, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("rsubi", B, InstrClass.ALU, 0x09, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("addik", B, InstrClass.ALU, 0x0C, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("rsubik", B, InstrClass.ALU, 0x0D, operands=RRI, reads=("ra",), writes=("rd",)))
+
+    # ----- multiply / divide (optional hardware units) ---------------------------
+    add(_spec("mul", A, InstrClass.MULTIPLY, 0x10, operands=RRR, requires=HwUnit.MULTIPLIER,
+              reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("muli", B, InstrClass.MULTIPLY, 0x18, operands=RRI, requires=HwUnit.MULTIPLIER,
+              reads=("ra",), writes=("rd",)))
+    add(_spec("idiv", A, InstrClass.DIVIDE, 0x12, func=0x000, operands=RRR, requires=HwUnit.DIVIDER,
+              reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("idivu", A, InstrClass.DIVIDE, 0x12, func=0x002, operands=RRR, requires=HwUnit.DIVIDER,
+              reads=("ra", "rb"), writes=("rd",)))
+
+    # ----- barrel shifter (optional) ----------------------------------------------
+    add(_spec("bsrl", A, InstrClass.BARREL_SHIFT, 0x11, func=0x000, operands=RRR,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("bsra", A, InstrClass.BARREL_SHIFT, 0x11, func=0x200, operands=RRR,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("bsll", A, InstrClass.BARREL_SHIFT, 0x11, func=0x400, operands=RRR,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("bsrli", B, InstrClass.BARREL_SHIFT, 0x19, func=0x000, operands=RRI,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra",), writes=("rd",)))
+    add(_spec("bsrai", B, InstrClass.BARREL_SHIFT, 0x19, func=0x200, operands=RRI,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra",), writes=("rd",)))
+    add(_spec("bslli", B, InstrClass.BARREL_SHIFT, 0x19, func=0x400, operands=RRI,
+              requires=HwUnit.BARREL_SHIFTER, reads=("ra",), writes=("rd",)))
+
+    # ----- logical ----------------------------------------------------------------
+    add(_spec("or", A, InstrClass.LOGICAL, 0x20, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("and", A, InstrClass.LOGICAL, 0x21, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("xor", A, InstrClass.LOGICAL, 0x22, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("andn", A, InstrClass.LOGICAL, 0x23, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("ori", B, InstrClass.LOGICAL, 0x28, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("andi", B, InstrClass.LOGICAL, 0x29, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("xori", B, InstrClass.LOGICAL, 0x2A, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("andni", B, InstrClass.LOGICAL, 0x2B, operands=RRI, reads=("ra",), writes=("rd",)))
+
+    # ----- single-bit shifts and sign extension (opcode 0x24 group) ---------------
+    add(_spec("sra", A, InstrClass.SHIFT, 0x24, func=0x001, operands=("rd", "ra"),
+              reads=("ra",), writes=("rd",)))
+    add(_spec("src", A, InstrClass.SHIFT, 0x24, func=0x021, operands=("rd", "ra"),
+              reads=("ra",), writes=("rd",)))
+    add(_spec("srl", A, InstrClass.SHIFT, 0x24, func=0x041, operands=("rd", "ra"),
+              reads=("ra",), writes=("rd",)))
+    add(_spec("sext8", A, InstrClass.SEXT, 0x24, func=0x060, operands=("rd", "ra"),
+              reads=("ra",), writes=("rd",)))
+    add(_spec("sext16", A, InstrClass.SEXT, 0x24, func=0x061, operands=("rd", "ra"),
+              reads=("ra",), writes=("rd",)))
+
+    # ----- imm prefix ---------------------------------------------------------------
+    add(_spec("imm", B, InstrClass.IMM_PREFIX, 0x2C, operands=("imm",)))
+
+    # ----- unconditional branches ---------------------------------------------------
+    # Register forms share opcode 0x26; the ra field encodes D (delay), A
+    # (absolute) and L (link) bits exactly as the real MicroBlaze does.
+    add(_spec("br", A, InstrClass.BRANCH_UNCOND, 0x26, func=0x00, operands=("rb",), reads=("rb",)))
+    add(_spec("brd", A, InstrClass.BRANCH_UNCOND, 0x26, func=0x10, operands=("rb",), reads=("rb",),
+              delay_slot=True))
+    add(_spec("brld", A, InstrClass.CALL, 0x26, func=0x14, operands=("rd", "rb"),
+              reads=("rb",), writes=("rd",), delay_slot=True))
+    add(_spec("bra", A, InstrClass.BRANCH_UNCOND, 0x26, func=0x08, operands=("rb",), reads=("rb",)))
+    add(_spec("brad", A, InstrClass.BRANCH_UNCOND, 0x26, func=0x18, operands=("rb",), reads=("rb",),
+              delay_slot=True))
+    add(_spec("brald", A, InstrClass.CALL, 0x26, func=0x1C, operands=("rd", "rb"),
+              reads=("rb",), writes=("rd",), delay_slot=True))
+    add(_spec("bri", B, InstrClass.BRANCH_UNCOND, 0x2E, func=0x00, operands=("imm",)))
+    add(_spec("brid", B, InstrClass.BRANCH_UNCOND, 0x2E, func=0x10, operands=("imm",), delay_slot=True))
+    add(_spec("brlid", B, InstrClass.CALL, 0x2E, func=0x14, operands=("rd", "imm"),
+              writes=("rd",), delay_slot=True))
+    add(_spec("brai", B, InstrClass.BRANCH_UNCOND, 0x2E, func=0x08, operands=("imm",)))
+    add(_spec("bralid", B, InstrClass.CALL, 0x2E, func=0x1C, operands=("rd", "imm"),
+              writes=("rd",), delay_slot=True))
+
+    # ----- subroutine return --------------------------------------------------------
+    add(_spec("rtsd", B, InstrClass.RETURN, 0x2D, operands=("ra", "imm"), reads=("ra",),
+              delay_slot=True))
+
+    # ----- conditional branches ------------------------------------------------------
+    for stem, cond in CONDITION_BY_STEM.items():
+        add(_spec(stem, A, InstrClass.BRANCH_COND, 0x27, func=int(cond), operands=("ra", "rb"),
+                  reads=("ra", "rb"), condition=cond))
+        add(_spec(stem + "d", A, InstrClass.BRANCH_COND, 0x27, func=0x10 | int(cond),
+                  operands=("ra", "rb"), reads=("ra", "rb"), condition=cond, delay_slot=True))
+        add(_spec(stem + "i", B, InstrClass.BRANCH_COND, 0x2F, func=int(cond), operands=("ra", "imm"),
+                  reads=("ra",), condition=cond))
+        add(_spec(stem + "id", B, InstrClass.BRANCH_COND, 0x2F, func=0x10 | int(cond),
+                  operands=("ra", "imm"), reads=("ra",), condition=cond, delay_slot=True))
+
+    # ----- loads and stores ----------------------------------------------------------
+    add(_spec("lbu", A, InstrClass.LOAD, 0x30, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("lhu", A, InstrClass.LOAD, 0x31, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("lw", A, InstrClass.LOAD, 0x32, operands=RRR, reads=("ra", "rb"), writes=("rd",)))
+    add(_spec("sb", A, InstrClass.STORE, 0x34, operands=RRR, reads=("rd", "ra", "rb")))
+    add(_spec("sh", A, InstrClass.STORE, 0x35, operands=RRR, reads=("rd", "ra", "rb")))
+    add(_spec("sw", A, InstrClass.STORE, 0x36, operands=RRR, reads=("rd", "ra", "rb")))
+    add(_spec("lbui", B, InstrClass.LOAD, 0x38, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("lhui", B, InstrClass.LOAD, 0x39, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("lwi", B, InstrClass.LOAD, 0x3A, operands=RRI, reads=("ra",), writes=("rd",)))
+    add(_spec("sbi", B, InstrClass.STORE, 0x3C, operands=RRI, reads=("rd", "ra")))
+    add(_spec("shi", B, InstrClass.STORE, 0x3D, operands=RRI, reads=("rd", "ra")))
+    add(_spec("swi", B, InstrClass.STORE, 0x3E, operands=RRI, reads=("rd", "ra")))
+
+    return table
+
+
+#: Mnemonic -> :class:`OpSpec` lookup table for the whole instruction set.
+OPCODES: Dict[str, OpSpec] = _build_opcode_table()
+
+
+@dataclass
+class Instruction:
+    """One decoded (or not-yet-encoded) machine instruction.
+
+    The same class is used by the assembler, the compiler back end, the
+    processor simulator and the binary decompiler.  Fields that an
+    instruction does not use are left at zero; ``target`` optionally holds a
+    symbolic label that the assembler resolves into ``imm`` during the
+    second pass.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: Optional[str] = None
+    address: Optional[int] = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in OPCODES:
+            raise ValueError(f"unknown mnemonic: {self.mnemonic!r}")
+
+    # -- static metadata ---------------------------------------------------------
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.mnemonic]
+
+    @property
+    def klass(self) -> InstrClass:
+        return self.spec.klass
+
+    @property
+    def is_branch(self) -> bool:
+        return self.spec.is_branch
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.klass is InstrClass.BRANCH_COND
+
+    @property
+    def is_memory(self) -> bool:
+        return self.spec.is_memory
+
+    @property
+    def has_delay_slot(self) -> bool:
+        return self.spec.delay_slot
+
+    @property
+    def requires(self) -> Optional[HwUnit]:
+        return self.spec.requires
+
+    # -- dataflow helpers ----------------------------------------------------------
+    def registers_read(self) -> Tuple[int, ...]:
+        """Registers whose values this instruction consumes."""
+        mapping = {"rd": self.rd, "ra": self.ra, "rb": self.rb}
+        return tuple(mapping[f] for f in self.spec.reads)
+
+    def registers_written(self) -> Tuple[int, ...]:
+        """Registers this instruction defines (``r0`` writes are discarded)."""
+        mapping = {"rd": self.rd, "ra": self.ra, "rb": self.rb}
+        return tuple(mapping[f] for f in self.spec.writes if mapping[f] != 0)
+
+    # -- pretty printing -------------------------------------------------------------
+    def operand_strings(self) -> Tuple[str, ...]:
+        parts = []
+        for name in self.spec.operands:
+            if name == "imm":
+                if self.target is not None:
+                    parts.append(self.target)
+                else:
+                    parts.append(str(self.imm))
+            else:
+                parts.append(register_name(getattr(self, name)))
+        return tuple(parts)
+
+    def __str__(self) -> str:
+        operands = ", ".join(self.operand_strings())
+        text = f"{self.mnemonic}\t{operands}" if operands else self.mnemonic
+        if self.comment:
+            text = f"{text}\t# {self.comment}"
+        return text
+
+
+def nop() -> Instruction:
+    """Return the canonical MicroBlaze NOP (``or r0, r0, r0``)."""
+    return Instruction("or", rd=0, ra=0, rb=0, comment="nop")
+
+
+def is_backward_branch(instr: Instruction) -> bool:
+    """True when ``instr`` is a PC-relative branch with a negative offset.
+
+    The on-chip profiler of the warp processor (Section 3 of the paper)
+    detects loops by watching for backward branches on the instruction
+    memory bus; this helper encodes the same criterion at the ISA level.
+    """
+    if not instr.is_branch:
+        return False
+    if instr.spec.fmt is not InstrFormat.TYPE_B:
+        return False
+    return instr.imm < 0

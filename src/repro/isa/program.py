@@ -1,0 +1,142 @@
+"""Program image container shared by the assembler, simulator and DPM.
+
+A :class:`Program` bundles everything a MicroBlaze system needs to run an
+application: the instruction-memory image (a list of 32-bit machine words
+destined for the instruction block RAM), the initial data-memory image
+(destined for the data block RAM), the symbol table produced by the
+assembler, and a little metadata used by the experiment harness.
+
+The warp processor's dynamic partitioning module treats the instruction
+image exactly the way the paper describes — as an opaque binary accessed
+through the dual-ported instruction BRAM — so :class:`Program` deliberately
+exposes the raw words rather than decoded instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .encoding import decode_program
+from .instructions import Instruction
+
+
+class SymbolError(KeyError):
+    """Raised when a requested symbol is not present in the program."""
+
+
+@dataclass
+class Symbol:
+    """A named address in either the text or the data section."""
+
+    name: str
+    address: int
+    section: str  # "text" or "data"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Symbol({self.name!r}, {self.address:#x}, {self.section})"
+
+
+@dataclass
+class Program:
+    """An assembled application image.
+
+    Attributes
+    ----------
+    name:
+        Human readable program name (benchmark name for the apps suite).
+    text:
+        Instruction-memory image as a list of 32-bit words; word ``i`` sits
+        at byte address ``4 * i``.
+    data:
+        Initial data-memory image as a mutable ``bytearray``.
+    symbols:
+        Mapping of label name to :class:`Symbol`.
+    entry_point:
+        Byte address of the first instruction to execute.
+    data_size:
+        Size in bytes of the data block RAM required by the program (at
+        least ``len(data)``; programs may reserve zero-initialised space and
+        a stack region beyond the initialised image).
+    source:
+        Optional assembly source the image was produced from, kept to make
+        debugging and the examples more readable.
+    """
+
+    name: str = "program"
+    text: List[int] = field(default_factory=list)
+    data: bytearray = field(default_factory=bytearray)
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    entry_point: int = 0
+    data_size: int = 0
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.data_size < len(self.data):
+            self.data_size = len(self.data)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def text_size(self) -> int:
+        """Size of the instruction image in bytes."""
+        return 4 * len(self.text)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.text)
+
+    # -------------------------------------------------------------- symbols
+    def symbol_address(self, name: str) -> int:
+        """Return the byte address of symbol ``name``."""
+        try:
+            return self.symbols[name].address
+        except KeyError as exc:
+            raise SymbolError(f"unknown symbol {name!r} in program {self.name!r}") from exc
+
+    def has_symbol(self, name: str) -> bool:
+        return name in self.symbols
+
+    def symbol_at(self, address: int, section: str = "text") -> Optional[str]:
+        """Return the name of the symbol at ``address`` in ``section``, if any."""
+        for sym in self.symbols.values():
+            if sym.address == address and sym.section == section:
+                return sym.name
+        return None
+
+    # ------------------------------------------------------------ inspection
+    def decoded(self) -> List[Instruction]:
+        """Decode the whole text section into :class:`Instruction` objects."""
+        return decode_program(self.text)
+
+    def word_at(self, address: int) -> int:
+        """Return the instruction word at byte ``address``."""
+        index = address // 4
+        if address % 4 or not 0 <= index < len(self.text):
+            raise IndexError(f"instruction address out of range: {address:#x}")
+        return self.text[index]
+
+    def patch_word(self, address: int, word: int) -> None:
+        """Overwrite the instruction word at byte ``address``.
+
+        This is the primitive the dynamic partitioning module uses to update
+        the executing application's binary after hardware generation.
+        """
+        index = address // 4
+        if address % 4 or not 0 <= index < len(self.text):
+            raise IndexError(f"instruction address out of range: {address:#x}")
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise ValueError(f"not a 32-bit word: {word:#x}")
+        self.text[index] = word
+
+    def copy(self) -> "Program":
+        """Return a deep copy (used before binary patching so the original
+        software-only image remains available for comparison runs)."""
+        return Program(
+            name=self.name,
+            text=list(self.text),
+            data=bytearray(self.data),
+            symbols=dict(self.symbols),
+            entry_point=self.entry_point,
+            data_size=self.data_size,
+            source=self.source,
+        )

@@ -1,0 +1,440 @@
+"""Functional and cycle-approximate MicroBlaze CPU model.
+
+The CPU model executes the MicroBlaze-like instruction set defined in
+:mod:`repro.isa` with the three-stage-pipeline latencies the paper quotes
+(single-cycle ALU operations, three-cycle multiplies, one-to-three cycle
+branches, two-cycle local-memory loads) so that both the *behaviour* and
+the *cycle count* of an application are available to the rest of the warp
+processing flow.
+
+Differences from the real core, all intentional and documented:
+
+* ``cmp``/``cmpu`` produce a clean -1/0/+1 comparison result rather than a
+  subtraction with a patched MSB; the compiler, the decompiler, and the
+  hardware synthesis all share this definition, so the system is
+  self-consistent.
+* carry, machine-status and exception state are not modelled (none of the
+  benchmark kernels use them),
+* ``src`` (shift right through carry) behaves like ``srl``.
+
+The timing model charges each instruction a latency drawn from
+:class:`~repro.microblaze.config.PipelineTimings`; it does not model
+structural hazards beyond those latencies, which matches the level of
+detail the paper's own cycle estimates operate at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.encoding import decode
+from ..isa.instructions import HwUnit, Instruction, InstrClass
+from ..isa.registers import NUM_REGISTERS, WORD_MASK, to_signed
+from .config import MicroBlazeConfig
+from .memory import BlockRAM
+from .opb import OPB_BASE_ADDRESS, OnChipPeripheralBus
+from .trace import TraceEvent, TraceListener
+
+
+class CPUError(Exception):
+    """Base class for simulator faults."""
+
+
+class IllegalInstruction(CPUError):
+    """Raised when an instruction needs a hardware unit that is absent,
+    or a delay slot contains another branch."""
+
+
+class ExecutionLimitExceeded(CPUError):
+    """Raised when a run exceeds its instruction or cycle budget."""
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate statistics of one simulated run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    class_counts: Dict[InstrClass, int] = field(default_factory=dict)
+    class_cycles: Dict[InstrClass, int] = field(default_factory=dict)
+    branches_taken: int = 0
+    branches_not_taken: int = 0
+    loads: int = 0
+    stores: int = 0
+    opb_reads: int = 0
+    opb_writes: int = 0
+    halted: bool = False
+
+    def record(self, klass: InstrClass, cycles: int) -> None:
+        self.instructions += 1
+        self.cycles += cycles
+        self.class_counts[klass] = self.class_counts.get(klass, 0) + 1
+        self.class_cycles[klass] = self.class_cycles.get(klass, 0) + cycles
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate ``other`` into this record (used by multi-kernel runs)."""
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        for klass, count in other.class_counts.items():
+            self.class_counts[klass] = self.class_counts.get(klass, 0) + count
+        for klass, count in other.class_cycles.items():
+            self.class_cycles[klass] = self.class_cycles.get(klass, 0) + count
+        self.branches_taken += other.branches_taken
+        self.branches_not_taken += other.branches_not_taken
+        self.loads += other.loads
+        self.stores += other.stores
+        self.opb_reads += other.opb_reads
+        self.opb_writes += other.opb_writes
+
+
+class MicroBlazeCPU:
+    """Executable model of one MicroBlaze core.
+
+    Parameters
+    ----------
+    config:
+        Processor configuration (optional units, clock, latency table).
+    instr_bram / data_bram:
+        The local-memory block RAMs of Figure 1.
+    opb:
+        Optional on-chip peripheral bus; loads and stores whose effective
+        address is at or above :data:`~repro.microblaze.opb.OPB_BASE_ADDRESS`
+        are routed there.
+    """
+
+    def __init__(
+        self,
+        config: MicroBlazeConfig,
+        instr_bram: BlockRAM,
+        data_bram: BlockRAM,
+        opb: Optional[OnChipPeripheralBus] = None,
+    ):
+        self.config = config
+        self.instr_bram = instr_bram
+        self.data_bram = data_bram
+        self.opb = opb
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.pc = 0
+        self.halted = False
+        self.halt_address: Optional[int] = None
+        self.stats = ExecutionStats()
+        self._imm_latch: Optional[int] = None
+        self._listeners: List[TraceListener] = []
+        self._decoded: Dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------ setup
+    def add_listener(self, listener: TraceListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TraceListener) -> None:
+        self._listeners.remove(listener)
+
+    def reset(self, entry_point: int = 0, stack_pointer: Optional[int] = None) -> None:
+        """Reset architectural state and point the PC at ``entry_point``."""
+        self.registers = [0] * NUM_REGISTERS
+        if stack_pointer is None:
+            stack_pointer = self.data_bram.size - 4
+        self.registers[1] = stack_pointer & WORD_MASK
+        self.pc = entry_point
+        self.halted = False
+        self.stats = ExecutionStats()
+        self._imm_latch = None
+        self._decoded.clear()
+
+    # -------------------------------------------------------------- registers
+    def read_register(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value & WORD_MASK
+
+    # ------------------------------------------------------------------ fetch
+    def fetch(self, address: int) -> Instruction:
+        """Fetch and decode the instruction at byte ``address``.
+
+        Decoded instructions are cached; the cache is invalidated explicitly
+        by :meth:`invalidate_decode_cache` when the dynamic partitioning
+        module patches the binary.
+        """
+        cached = self._decoded.get(address)
+        if cached is not None:
+            return cached
+        word = self.instr_bram.load(address, 4)
+        instr = decode(word, address=address)
+        self._decoded[address] = instr
+        return instr
+
+    def invalidate_decode_cache(self) -> None:
+        self._decoded.clear()
+
+    # -------------------------------------------------------------- execution
+    def run(self, max_instructions: int = 50_000_000,
+            max_cycles: Optional[int] = None) -> ExecutionStats:
+        """Run until the program halts or a budget is exceeded."""
+        while not self.halted:
+            if self.stats.instructions >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}"
+                )
+            if max_cycles is not None and self.stats.cycles >= max_cycles:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_cycles} cycles at pc={self.pc:#x}"
+                )
+            self.step()
+        self.stats.halted = True
+        return self.stats
+
+    def step(self) -> int:
+        """Execute one instruction (plus its delay slot, if any).
+
+        Returns the number of cycles charged.
+        """
+        if self.halted:
+            return 0
+        if self.halt_address is not None and self.pc == self.halt_address:
+            self.halted = True
+            return 0
+        pc = self.pc
+        instr = self.fetch(pc)
+        cycles = self._execute(pc, instr)
+        return cycles
+
+    # ------------------------------------------------------------ the executor
+    def _effective_imm(self, instr: Instruction) -> int:
+        """Combine the instruction immediate with a pending ``imm`` prefix."""
+        if self._imm_latch is None:
+            return instr.imm
+        value = ((self._imm_latch << 16) | (instr.imm & 0xFFFF)) & WORD_MASK
+        return to_signed(value)
+
+    def _check_unit(self, instr: Instruction) -> None:
+        unit = instr.requires
+        if unit is not None and not self.config.has_unit(unit):
+            raise IllegalInstruction(
+                f"{instr.mnemonic} at {instr.address:#x} requires the "
+                f"{unit.value} which is not configured"
+            )
+
+    def _execute(self, pc: int, instr: Instruction) -> int:
+        timings = self.config.timings
+        klass = instr.klass
+        self._check_unit(instr)
+
+        branch_taken: Optional[bool] = None
+        branch_target: Optional[int] = None
+        next_pc = pc + 4
+        imm_consumed = True
+
+        regs = self.registers
+        ra_val = 0 if instr.ra == 0 else regs[instr.ra]
+        rb_val = 0 if instr.rb == 0 else regs[instr.rb]
+        rd_val = 0 if instr.rd == 0 else regs[instr.rd]
+
+        if klass in (InstrClass.ALU, InstrClass.LOGICAL, InstrClass.SHIFT,
+                     InstrClass.BARREL_SHIFT, InstrClass.MULTIPLY,
+                     InstrClass.DIVIDE, InstrClass.COMPARE, InstrClass.SEXT):
+            cycles = timings.for_class(klass)
+            result = self._compute(instr, ra_val, rb_val)
+            self.write_register(instr.rd, result)
+
+        elif klass is InstrClass.IMM_PREFIX:
+            cycles = timings.imm_prefix
+            self._imm_latch = instr.imm & 0xFFFF
+            imm_consumed = False
+
+        elif klass is InstrClass.LOAD:
+            imm = self._effective_imm(instr)
+            address = (ra_val + (rb_val if instr.spec.fmt.value == "A" else imm)) & WORD_MASK
+            width = {"lw": 4, "lwi": 4, "lhu": 2, "lhui": 2, "lbu": 1, "lbui": 1}[instr.mnemonic]
+            cycles = timings.load
+            if self.opb is not None and address >= OPB_BASE_ADDRESS and self.opb.owns(address):
+                value = self.opb.read(address)
+                cycles += timings.opb_access_extra
+                self.stats.opb_reads += 1
+            else:
+                value = self.data_bram.load(address, width)
+            self.write_register(instr.rd, value)
+            self.stats.loads += 1
+
+        elif klass is InstrClass.STORE:
+            imm = self._effective_imm(instr)
+            address = (ra_val + (rb_val if instr.spec.fmt.value == "A" else imm)) & WORD_MASK
+            width = {"sw": 4, "swi": 4, "sh": 2, "shi": 2, "sb": 1, "sbi": 1}[instr.mnemonic]
+            cycles = timings.store
+            if self.opb is not None and address >= OPB_BASE_ADDRESS and self.opb.owns(address):
+                self.opb.write(address, rd_val)
+                cycles += timings.opb_access_extra
+                self.stats.opb_writes += 1
+            else:
+                self.data_bram.store(address, rd_val, width)
+            self.stats.stores += 1
+
+        elif klass is InstrClass.BRANCH_COND:
+            imm = self._effective_imm(instr)
+            taken = self._condition_holds(instr, ra_val)
+            branch_taken = taken
+            if taken:
+                offset = rb_val if instr.spec.fmt.value == "A" else imm
+                branch_target = (pc + to_signed(offset)) & WORD_MASK
+                cycles = timings.branch_taken
+            else:
+                cycles = timings.branch_not_taken
+            if instr.has_delay_slot:
+                cycles += self._execute_delay_slot(pc)
+                next_pc = branch_target if taken else pc + 8
+            else:
+                next_pc = branch_target if taken else pc + 4
+            self.stats.branches_taken += int(taken)
+            self.stats.branches_not_taken += int(not taken)
+
+        elif klass in (InstrClass.BRANCH_UNCOND, InstrClass.CALL, InstrClass.RETURN):
+            imm = self._effective_imm(instr)
+            if klass is InstrClass.RETURN:
+                branch_target = (ra_val + imm) & WORD_MASK
+                cycles = timings.ret
+            else:
+                absolute = instr.mnemonic in ("bra", "brad", "brald", "brai", "bralid")
+                if instr.spec.fmt.value == "A":
+                    offset_or_abs = rb_val
+                else:
+                    offset_or_abs = imm
+                if absolute:
+                    branch_target = offset_or_abs & WORD_MASK
+                else:
+                    branch_target = (pc + to_signed(offset_or_abs)) & WORD_MASK
+                cycles = timings.call if klass is InstrClass.CALL else timings.branch_taken
+                if klass is InstrClass.CALL:
+                    self.write_register(instr.rd, pc)
+            branch_taken = True
+            # A PC-relative unconditional branch to itself is the halt idiom.
+            if branch_target == pc and klass is InstrClass.BRANCH_UNCOND:
+                self.halted = True
+            if instr.has_delay_slot and not self.halted:
+                cycles += self._execute_delay_slot(pc)
+            next_pc = branch_target
+            self.stats.branches_taken += 1
+
+        else:  # pragma: no cover - defensive, all classes handled above
+            raise IllegalInstruction(f"unhandled instruction class {klass}")
+
+        if imm_consumed:
+            self._imm_latch = None
+        self.stats.record(klass, cycles)
+        self.pc = next_pc
+        if self.halt_address is not None and self.pc == self.halt_address:
+            self.halted = True
+
+        if self._listeners:
+            event = TraceEvent(pc=pc, instruction=instr, cycles=cycles,
+                               branch_taken=branch_taken, branch_target=branch_target)
+            for listener in self._listeners:
+                listener.on_instruction(event)
+        return cycles
+
+    def _execute_delay_slot(self, branch_pc: int) -> int:
+        """Execute the instruction in the delay slot of a branch at ``branch_pc``."""
+        slot_pc = branch_pc + 4
+        slot_instr = self.fetch(slot_pc)
+        if slot_instr.is_branch or slot_instr.klass is InstrClass.IMM_PREFIX:
+            raise IllegalInstruction(
+                f"illegal instruction {slot_instr.mnemonic} in delay slot at {slot_pc:#x}"
+            )
+        saved_pc = self.pc
+        self.pc = slot_pc
+        # Delay slot instructions cannot themselves branch, so _execute simply
+        # advances self.pc which we restore below.
+        cycles = self._execute(slot_pc, slot_instr)
+        self.pc = saved_pc
+        return cycles
+
+    # ------------------------------------------------------------ ALU helpers
+    def _compute(self, instr: Instruction, ra_val: int, rb_val: int) -> int:
+        """Compute the result of a register-writing data instruction."""
+        mnemonic = instr.mnemonic
+        imm = self._effective_imm(instr)
+
+        if mnemonic in ("add", "addk"):
+            return (ra_val + rb_val) & WORD_MASK
+        if mnemonic in ("addi", "addik"):
+            return (ra_val + imm) & WORD_MASK
+        if mnemonic in ("rsub", "rsubk"):
+            return (rb_val - ra_val) & WORD_MASK
+        if mnemonic in ("rsubi", "rsubik"):
+            return (imm - ra_val) & WORD_MASK
+        if mnemonic == "mul":
+            return (ra_val * rb_val) & WORD_MASK
+        if mnemonic == "muli":
+            return (ra_val * imm) & WORD_MASK
+        if mnemonic == "idiv":
+            divisor, dividend = to_signed(ra_val), to_signed(rb_val)
+            if divisor == 0:
+                return 0
+            return int(dividend / divisor) & WORD_MASK
+        if mnemonic == "idivu":
+            if ra_val == 0:
+                return 0
+            return (rb_val // ra_val) & WORD_MASK
+        if mnemonic == "cmp":
+            a, b = to_signed(ra_val), to_signed(rb_val)
+            return (1 if b > a else 0 if b == a else -1) & WORD_MASK
+        if mnemonic == "cmpu":
+            return (1 if rb_val > ra_val else 0 if rb_val == ra_val else -1) & WORD_MASK
+        if mnemonic == "and":
+            return ra_val & rb_val
+        if mnemonic == "andi":
+            return ra_val & (imm & WORD_MASK)
+        if mnemonic == "or":
+            return ra_val | rb_val
+        if mnemonic == "ori":
+            return ra_val | (imm & WORD_MASK)
+        if mnemonic == "xor":
+            return ra_val ^ rb_val
+        if mnemonic == "xori":
+            return ra_val ^ (imm & WORD_MASK)
+        if mnemonic == "andn":
+            return ra_val & ~rb_val & WORD_MASK
+        if mnemonic == "andni":
+            return ra_val & ~(imm & WORD_MASK) & WORD_MASK
+        if mnemonic == "sra":
+            return (to_signed(ra_val) >> 1) & WORD_MASK
+        if mnemonic in ("srl", "src"):
+            return ra_val >> 1
+        if mnemonic == "sext8":
+            return to_signed(ra_val & 0xFF, 8) & WORD_MASK
+        if mnemonic == "sext16":
+            return to_signed(ra_val & 0xFFFF, 16) & WORD_MASK
+        if mnemonic == "bsll":
+            return (ra_val << (rb_val & 31)) & WORD_MASK
+        if mnemonic == "bslli":
+            return (ra_val << (instr.imm & 31)) & WORD_MASK
+        if mnemonic == "bsrl":
+            return ra_val >> (rb_val & 31)
+        if mnemonic == "bsrli":
+            return ra_val >> (instr.imm & 31)
+        if mnemonic == "bsra":
+            return (to_signed(ra_val) >> (rb_val & 31)) & WORD_MASK
+        if mnemonic == "bsrai":
+            return (to_signed(ra_val) >> (instr.imm & 31)) & WORD_MASK
+        raise IllegalInstruction(f"unhandled data instruction {mnemonic}")
+
+    @staticmethod
+    def _condition_holds(instr: Instruction, ra_val: int) -> bool:
+        """Evaluate the branch condition against the signed value of ``ra``."""
+        value = to_signed(ra_val)
+        condition = instr.spec.condition
+        if condition is None:  # pragma: no cover - defensive
+            raise IllegalInstruction(f"{instr.mnemonic} has no condition")
+        name = condition.name
+        if name == "EQ":
+            return value == 0
+        if name == "NE":
+            return value != 0
+        if name == "LT":
+            return value < 0
+        if name == "LE":
+            return value <= 0
+        if name == "GT":
+            return value > 0
+        return value >= 0

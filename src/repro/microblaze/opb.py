@@ -1,0 +1,135 @@
+"""On-chip peripheral bus (OPB) and peripheral plumbing.
+
+The MicroBlaze system of Figure 1 hangs its peripherals off the on-chip
+peripheral bus, and Figure 2 shows that the warp configurable logic
+architecture communicates with the MicroBlaze over the same bus.  The model
+here is a simple address-decoded single-master bus: peripherals register an
+address window; reads and writes that fall outside the data BRAM are routed
+to the owning peripheral.  OPB transactions are slower than local-memory
+accesses, which the processor timing model charges through the
+``opb_access_extra`` latency of :class:`~repro.microblaze.config.PipelineTimings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+#: Base of the OPB address window in the data address space.  Everything the
+#: processor loads or stores at or above this address is an OPB transaction.
+OPB_BASE_ADDRESS = 0x8000_0000
+
+
+class Peripheral(Protocol):
+    """Interface every OPB peripheral implements."""
+
+    #: Byte address of the peripheral's first register (absolute).
+    base_address: int
+    #: Size of the peripheral's register window in bytes.
+    window_size: int
+    name: str
+
+    def read(self, offset: int) -> int:
+        """Read the 32-bit register at byte ``offset`` within the window."""
+        ...
+
+    def write(self, offset: int, value: int) -> None:
+        """Write the 32-bit register at byte ``offset`` within the window."""
+        ...
+
+    def tick(self, cycles: int) -> None:
+        """Advance the peripheral's notion of time by ``cycles`` core cycles."""
+        ...
+
+
+@dataclass
+class SimplePeripheral:
+    """A trivial memory-mapped register file, useful for tests and examples.
+
+    It stands in for the generic ``Periph 1`` / ``Periph 2`` blocks of
+    Figure 1 (UART-style status/data registers) without modelling any
+    particular device.
+    """
+
+    base_address: int
+    num_registers: int = 4
+    name: str = "periph"
+    window_size: int = 0
+    registers: List[int] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        self.window_size = 4 * self.num_registers
+        if not self.registers:
+            self.registers = [0] * self.num_registers
+
+    def read(self, offset: int) -> int:
+        self.reads += 1
+        return self.registers[(offset // 4) % self.num_registers]
+
+    def write(self, offset: int, value: int) -> None:
+        self.writes += 1
+        self.registers[(offset // 4) % self.num_registers] = value & 0xFFFFFFFF
+
+    def tick(self, cycles: int) -> None:  # pragma: no cover - nothing to do
+        return None
+
+
+class BusError(Exception):
+    """Raised when an OPB access does not decode to any peripheral."""
+
+
+class OnChipPeripheralBus:
+    """Address-decoded on-chip peripheral bus with attached peripherals."""
+
+    def __init__(self, name: str = "opb"):
+        self.name = name
+        self.peripherals: List[Peripheral] = []
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, peripheral: Peripheral) -> None:
+        """Attach ``peripheral``; its window must not overlap existing ones."""
+        new_lo = peripheral.base_address
+        new_hi = new_lo + peripheral.window_size
+        for existing in self.peripherals:
+            lo = existing.base_address
+            hi = lo + existing.window_size
+            if new_lo < hi and lo < new_hi:
+                raise BusError(
+                    f"peripheral {peripheral.name!r} window overlaps {existing.name!r}"
+                )
+        self.peripherals.append(peripheral)
+
+    def owns(self, address: int) -> bool:
+        """Whether ``address`` decodes to one of the attached peripherals."""
+        return self._find(address) is not None
+
+    def _find(self, address: int) -> Optional[Peripheral]:
+        for peripheral in self.peripherals:
+            if peripheral.base_address <= address < peripheral.base_address + peripheral.window_size:
+                return peripheral
+        return None
+
+    def read(self, address: int) -> int:
+        peripheral = self._find(address)
+        if peripheral is None:
+            raise BusError(f"OPB read from unmapped address {address:#010x}")
+        self.reads += 1
+        return peripheral.read(address - peripheral.base_address) & 0xFFFFFFFF
+
+    def write(self, address: int, value: int) -> None:
+        peripheral = self._find(address)
+        if peripheral is None:
+            raise BusError(f"OPB write to unmapped address {address:#010x}")
+        self.writes += 1
+        peripheral.write(address - peripheral.base_address, value & 0xFFFFFFFF)
+
+    def tick(self, cycles: int) -> None:
+        for peripheral in self.peripherals:
+            peripheral.tick(cycles)
+
+    @property
+    def transactions(self) -> int:
+        return self.reads + self.writes

@@ -1,0 +1,25 @@
+"""Dynamic partitioning module (DPM) and binary updating.
+
+Orchestrates the ROCPART flow — decompile, synthesise, place, route,
+configure, patch — and models the on-chip tools' own execution time.
+"""
+
+from .binary_patch import (
+    BinaryPatch,
+    PatchError,
+    SCRATCH_REGISTERS,
+    apply_patch,
+    undo_patch,
+)
+from .dpm import DpmCostModel, DynamicPartitioningModule, PartitioningOutcome
+
+__all__ = [
+    "BinaryPatch",
+    "PatchError",
+    "SCRATCH_REGISTERS",
+    "apply_patch",
+    "undo_patch",
+    "DpmCostModel",
+    "DynamicPartitioningModule",
+    "PartitioningOutcome",
+]

@@ -1,0 +1,164 @@
+"""The dynamic partitioning module (DPM).
+
+The DPM is the embedded processor that runs the Riverside on-chip
+partitioning tools (ROCPART): it reads the profiler's results, selects the
+most critical region, decompiles it from the application binary, runs
+synthesis / technology mapping / placement / routing for the WCLA, and
+finally updates the application binary to invoke the new hardware
+(Section 3 of the paper).  In the paper's system the DPM is itself another
+MicroBlaze with its own memories; we model the tool *flow* exactly and the
+DPM's own execution time analytically (so studies of how long on-chip CAD
+takes, and whether one DPM can serve several processors round-robin, remain
+possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..decompile.kernel import HardwareKernel, extract_kernel
+from ..decompile.symexec import DecompilationError, decompile_region
+from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
+from ..fabric.implementation import HardwareImplementation, implement_kernel
+from ..fabric.place import FabricCapacityError, PlacementResult, place_kernel
+from ..fabric.route import RoutingResult, route_kernel
+from ..isa.program import Program
+from ..microblaze.opb import OPB_BASE_ADDRESS
+from ..profiler.profiler import CriticalRegion
+from ..synthesis.datapath import SynthesisResult, synthesize_kernel
+from .binary_patch import BinaryPatch, PatchError, apply_patch
+
+
+@dataclass
+class DpmCostModel:
+    """Analytical execution-time model of the on-chip tools themselves.
+
+    The companion papers report that the lean tools run in about a second on
+    a modest embedded processor; the per-phase constants below reproduce
+    that order of magnitude as a function of problem size so the
+    multi-processor round-robin study has something meaningful to add up.
+    """
+
+    clock_mhz: float = 85.0
+    cycles_per_decompiled_instruction: int = 40_000
+    cycles_per_synthesized_lut: int = 6_000
+    cycles_per_placed_component: int = 25_000
+    cycles_per_routed_segment: int = 3_000
+    fixed_overhead_cycles: int = 2_000_000
+
+    def partitioning_cycles(self, kernel: HardwareKernel,
+                            synthesis: SynthesisResult,
+                            placement: PlacementResult,
+                            routing: RoutingResult) -> int:
+        cycles = self.fixed_overhead_cycles
+        cycles += kernel.region.num_instructions * self.cycles_per_decompiled_instruction
+        cycles += synthesis.total_luts * self.cycles_per_synthesized_lut
+        cycles += len(placement.components) * self.cycles_per_placed_component
+        cycles += routing.total_segments_used * self.cycles_per_routed_segment
+        return cycles
+
+    def partitioning_seconds(self, kernel: HardwareKernel,
+                             synthesis: SynthesisResult,
+                             placement: PlacementResult,
+                             routing: RoutingResult) -> float:
+        return self.partitioning_cycles(kernel, synthesis, placement, routing) \
+            / (self.clock_mhz * 1e6)
+
+
+@dataclass
+class PartitioningOutcome:
+    """Everything the DPM produced for one critical region."""
+
+    success: bool
+    region: CriticalRegion
+    reason: Optional[str] = None
+    kernel: Optional[HardwareKernel] = None
+    synthesis: Optional[SynthesisResult] = None
+    placement: Optional[PlacementResult] = None
+    routing: Optional[RoutingResult] = None
+    implementation: Optional[HardwareImplementation] = None
+    patch: Optional[BinaryPatch] = None
+    dpm_seconds: float = 0.0
+
+    def summary(self) -> str:
+        if not self.success:
+            return f"partitioning rejected: {self.reason}"
+        lines = [
+            self.kernel.summary(),
+            self.synthesis.summary(),
+            self.implementation.summary(),
+            f"on-chip tool time: {self.dpm_seconds * 1e3:.1f} ms (modelled)",
+        ]
+        return "\n".join(lines)
+
+
+class DynamicPartitioningModule:
+    """Runs the ROCPART flow for one program and one critical region."""
+
+    def __init__(self, wcla: WclaParameters = DEFAULT_WCLA,
+                 wcla_base_address: int = OPB_BASE_ADDRESS,
+                 cost_model: Optional[DpmCostModel] = None):
+        self.wcla = wcla
+        self.wcla_base_address = wcla_base_address
+        self.cost_model = cost_model if cost_model is not None else DpmCostModel()
+
+    def partition(self, program: Program,
+                  region: Optional[CriticalRegion]) -> PartitioningOutcome:
+        """Run the full flow and patch ``program`` in place on success.
+
+        On any failure the program is left untouched and the outcome records
+        the reason, mirroring a warp processor that silently keeps executing
+        the software-only binary.
+        """
+        if region is None:
+            return PartitioningOutcome(success=False, region=None,
+                                       reason="profiler found no critical region")
+        try:
+            body = decompile_region(program.text, region)
+            kernel = extract_kernel(body)
+        except DecompilationError as error:
+            return PartitioningOutcome(success=False, region=region,
+                                       reason=f"decompilation failed: {error}")
+        if not kernel.partitionable:
+            return PartitioningOutcome(success=False, region=region,
+                                       reason=kernel.rejection_reason, kernel=kernel)
+
+        synthesis = synthesize_kernel(kernel,
+                                      lut_inputs=self.wcla.fabric.lut_inputs,
+                                      memory_ports=self.wcla.memory_ports)
+        try:
+            placement = place_kernel(synthesis, self.wcla)
+        except FabricCapacityError as error:
+            return PartitioningOutcome(success=False, region=region,
+                                       reason=str(error), kernel=kernel,
+                                       synthesis=synthesis)
+        routing = route_kernel(placement, self.wcla)
+        implementation = implement_kernel(kernel, synthesis, placement, routing,
+                                          self.wcla)
+        if not placement.area.fits:
+            return PartitioningOutcome(success=False, region=region,
+                                       reason="kernel does not fit the fabric",
+                                       kernel=kernel, synthesis=synthesis,
+                                       placement=placement, routing=routing)
+        try:
+            patch = apply_patch(program, kernel, wcla_base=self.wcla_base_address)
+        except PatchError as error:
+            return PartitioningOutcome(success=False, region=region,
+                                       reason=f"binary update failed: {error}",
+                                       kernel=kernel, synthesis=synthesis,
+                                       placement=placement, routing=routing,
+                                       implementation=implementation)
+        dpm_seconds = self.cost_model.partitioning_seconds(kernel, synthesis,
+                                                           placement, routing)
+        return PartitioningOutcome(
+            success=True,
+            region=region,
+            kernel=kernel,
+            synthesis=synthesis,
+            placement=placement,
+            routing=routing,
+            implementation=implementation,
+            patch=patch,
+            dpm_seconds=dpm_seconds,
+        )

@@ -1,0 +1,33 @@
+"""Power and energy models (Figure 5 of the paper).
+
+Spartan3/MicroBlaze power constants (the XPower stand-in), the UMC 0.18 µm
+WCLA power model, ARM hard-core power densities, and the Figure-5 energy
+equation used to produce Figure 7.
+"""
+
+from .constants import (
+    ARM_POWER,
+    ArmPower,
+    MICROBLAZE_POWER,
+    MicroBlazePower,
+    WCLA_POWER,
+    WclaPower,
+)
+from .energy import EnergyBreakdown, arm_energy, microblaze_energy, warp_energy
+from .xpower import ComponentPower, PowerReport, estimate_system_power
+
+__all__ = [
+    "ARM_POWER",
+    "ArmPower",
+    "MICROBLAZE_POWER",
+    "MicroBlazePower",
+    "WCLA_POWER",
+    "WclaPower",
+    "EnergyBreakdown",
+    "arm_energy",
+    "microblaze_energy",
+    "warp_energy",
+    "ComponentPower",
+    "PowerReport",
+    "estimate_system_power",
+]

@@ -1,0 +1,96 @@
+"""Power-model constants.
+
+The paper obtains its power numbers from three sources: the Xilinx XPower
+estimator for the MicroBlaze system on the Spartan3 (dynamic and static
+power), a Synopsys Design Compiler / UMC 0.18 µm characterisation of the
+WCLA, and datasheet/SimpleScalar-derived figures for the ARM hard cores.
+None of those tools are available here, so this module collects documented
+constants of the right era and magnitude; every figure below is the single
+place that quantity is defined, and the energy results in ``EXPERIMENTS.md``
+are produced by running the flow with these values (nothing downstream
+hard-codes a paper result).
+
+Sources / reasoning for the chosen values:
+
+* Spartan3 quiescent (static) power for a small device is tens of mW; we
+  use 90 mW for the XC3S400-class part the MicroBlaze system occupies.
+* The MicroBlaze core plus BRAM/LMB/OPB dynamic power at 85 MHz reported by
+  XPower-era estimates is on the order of 0.7-1.2 mW/MHz; we use 0.85 mW/MHz
+  when the pipeline is busy and 0.25 mW/MHz when it only waits (clock tree
+  and BRAM standby keep toggling while the WCLA computes).
+* The WCLA characterised in UMC 0.18 µm consumes a few tens of mW when
+  active: a fixed DADG/register/controller part plus a LUT-count dependent
+  fabric part and the MAC when used.
+* ARM power densities follow the published typical figures for the cores at
+  the paper's clock rates (ARM7TDMI ≈ 0.45 mW/MHz, ARM926 ≈ 0.7 mW/MHz
+  including caches, ARM1020 ≈ 0.95 mW/MHz, ARM1136 ≈ 1.4 mW/MHz including
+  its memory system at 550 MHz), plus a small system (memory) adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MicroBlazePower:
+    """Spartan3 MicroBlaze system power (XPower stand-in)."""
+
+    #: Dynamic power density while executing instructions (mW per MHz).
+    active_mw_per_mhz: float = 0.85
+    #: Dynamic power density while idle/waiting for the WCLA (mW per MHz).
+    idle_mw_per_mhz: float = 0.25
+    #: Spartan3 static (quiescent) power in mW, charged for the whole run.
+    static_mw: float = 85.0
+
+    def active_mw(self, clock_mhz: float) -> float:
+        return self.active_mw_per_mhz * clock_mhz
+
+    def idle_mw(self, clock_mhz: float) -> float:
+        return self.idle_mw_per_mhz * clock_mhz
+
+
+@dataclass(frozen=True)
+class WclaPower:
+    """WCLA power from the UMC 0.18 µm characterisation stand-in."""
+
+    #: Fixed active power of DADG + loop control + registers (mW).
+    base_active_mw: float = 18.0
+    #: Additional active power per occupied LUT (mW).
+    per_lut_mw: float = 0.10
+    #: Additional active power when the 32-bit MAC is exercised (mW).
+    mac_active_mw: float = 14.0
+    #: Static power of the WCLA block (mW), charged while configured.
+    static_mw: float = 6.0
+
+    def active_mw(self, luts_used: int, uses_mac: bool) -> float:
+        power = self.base_active_mw + self.per_lut_mw * luts_used
+        if uses_mac:
+            power += self.mac_active_mw
+        return power
+
+
+@dataclass(frozen=True)
+class ArmPower:
+    """One ARM hard core's power figures."""
+
+    name: str
+    clock_mhz: float
+    core_mw_per_mhz: float
+    system_static_mw: float
+
+    @property
+    def active_mw(self) -> float:
+        return self.core_mw_per_mhz * self.clock_mhz + self.system_static_mw
+
+
+#: Default component models used by the experiments.
+MICROBLAZE_POWER = MicroBlazePower()
+WCLA_POWER = WclaPower()
+
+ARM_POWER = {
+    "ARM7": ArmPower("ARM7", clock_mhz=100.0, core_mw_per_mhz=0.45, system_static_mw=15.0),
+    "ARM9": ArmPower("ARM9", clock_mhz=250.0, core_mw_per_mhz=0.70, system_static_mw=25.0),
+    "ARM10": ArmPower("ARM10", clock_mhz=325.0, core_mw_per_mhz=0.95, system_static_mw=35.0),
+    "ARM11": ArmPower("ARM11", clock_mhz=550.0, core_mw_per_mhz=1.40, system_static_mw=60.0),
+}

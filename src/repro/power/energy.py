@@ -1,0 +1,102 @@
+"""The Figure-5 energy equation and per-platform energy accounting.
+
+Figure 5 of the paper defines the energy of a warp-processed execution as
+
+.. math::
+
+    E_{total} = E_{MB} + E_{HW} + E_{static}
+
+with
+
+.. math::
+
+    E_{MB} = P_{idleMB} \\cdot t_{idle} + P_{activeMB} \\cdot t_{active}
+
+    E_{HW} = P_{HW} \\cdot t_{activeHW}
+
+    E_{static} = P_{static} \\cdot t_{total}
+
+The same accounting degenerates naturally to the software-only MicroBlaze
+case (no idle time, no hardware term) and, with the ARM constants, to the
+hard-core comparison points of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import ARM_POWER, MICROBLAZE_POWER, WCLA_POWER, ArmPower, MicroBlazePower, WclaPower
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one execution, split the way Figure 5 splits it."""
+
+    label: str
+    microblaze_active_j: float = 0.0
+    microblaze_idle_j: float = 0.0
+    hardware_j: float = 0.0
+    static_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return (self.microblaze_active_j + self.microblaze_idle_j
+                + self.hardware_j + self.static_j)
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_j * 1e3
+
+    def normalized_to(self, reference: "EnergyBreakdown") -> float:
+        if reference.total_j == 0:
+            return 0.0
+        return self.total_j / reference.total_j
+
+
+def microblaze_energy(active_seconds: float, clock_mhz: float,
+                      idle_seconds: float = 0.0,
+                      power: MicroBlazePower = MICROBLAZE_POWER,
+                      label: str = "MicroBlaze") -> EnergyBreakdown:
+    """Energy of a MicroBlaze running for ``active_seconds`` (plus idle time).
+
+    The static term covers the whole span (active + idle), as in Figure 5.
+    """
+    total_seconds = active_seconds + idle_seconds
+    return EnergyBreakdown(
+        label=label,
+        microblaze_active_j=power.active_mw(clock_mhz) * 1e-3 * active_seconds,
+        microblaze_idle_j=power.idle_mw(clock_mhz) * 1e-3 * idle_seconds,
+        static_j=power.static_mw * 1e-3 * total_seconds,
+    )
+
+
+def warp_energy(mb_active_seconds: float, hw_seconds: float, clock_mhz: float,
+                wcla_luts: int, uses_mac: bool,
+                mb_power: MicroBlazePower = MICROBLAZE_POWER,
+                wcla_power: WclaPower = WCLA_POWER,
+                label: str = "MicroBlaze (Warp)") -> EnergyBreakdown:
+    """Energy of a warp-processed run per the Figure-5 equation.
+
+    While the WCLA executes the kernel the MicroBlaze waits (idle power);
+    while the MicroBlaze executes the rest of the application the WCLA is
+    quiescent (its static power is folded into the hardware term).
+    """
+    total_seconds = mb_active_seconds + hw_seconds
+    hardware_j = (wcla_power.active_mw(wcla_luts, uses_mac) * 1e-3 * hw_seconds
+                  + wcla_power.static_mw * 1e-3 * total_seconds)
+    return EnergyBreakdown(
+        label=label,
+        microblaze_active_j=mb_power.active_mw(clock_mhz) * 1e-3 * mb_active_seconds,
+        microblaze_idle_j=mb_power.idle_mw(clock_mhz) * 1e-3 * hw_seconds,
+        hardware_j=hardware_j,
+        static_j=mb_power.static_mw * 1e-3 * total_seconds,
+    )
+
+
+def arm_energy(execution_seconds: float, arm: ArmPower,
+               label: str | None = None) -> EnergyBreakdown:
+    """Energy of an ARM hard core executing for ``execution_seconds``."""
+    return EnergyBreakdown(
+        label=label or arm.name,
+        microblaze_active_j=arm.active_mw * 1e-3 * execution_seconds,
+    )

@@ -1,0 +1,17 @@
+"""Non-intrusive on-chip profiler (Figure 2 of the paper).
+
+Watches taken backward branches on the instruction stream, accumulates
+their frequencies in a small hardware-style cache, and reports the critical
+regions that the dynamic partitioning module considers for hardware
+implementation.
+"""
+
+from .branch_cache import BranchCacheEntry, BranchFrequencyCache
+from .profiler import CriticalRegion, OnChipProfiler
+
+__all__ = [
+    "BranchCacheEntry",
+    "BranchFrequencyCache",
+    "CriticalRegion",
+    "OnChipProfiler",
+]

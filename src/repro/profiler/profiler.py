@@ -1,0 +1,101 @@
+"""The non-intrusive on-chip profiler of the warp processor.
+
+The profiler observes the simulated MicroBlaze's execution stream (the
+stand-in for snooping the instruction-side local memory bus) and feeds
+taken backward branches into the :class:`BranchFrequencyCache`.  At the end
+of a profiling window it reports the critical regions — candidate loops —
+ranked by backward-branch frequency, from which the dynamic partitioning
+module selects the single most critical region to implement in hardware,
+exactly as in Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..microblaze.trace import TraceEvent
+from .branch_cache import BranchFrequencyCache
+
+
+@dataclass(frozen=True)
+class CriticalRegion:
+    """A candidate loop identified by the profiler.
+
+    ``start_address`` is the backward branch's target (the loop header) and
+    ``end_address`` the address of the backward branch itself, so the loop
+    body occupies the closed byte range ``[start_address, end_address]``.
+    """
+
+    start_address: int
+    end_address: int
+    frequency: int
+    relative_weight: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.end_address - self.start_address + 4
+
+    @property
+    def num_instructions(self) -> int:
+        return self.size_bytes // 4
+
+    def contains(self, address: int) -> bool:
+        return self.start_address <= address <= self.end_address
+
+    def __str__(self) -> str:
+        return (f"loop [{self.start_address:#06x}, {self.end_address:#06x}] "
+                f"({self.num_instructions} instructions, "
+                f"{self.frequency} iterations observed)")
+
+
+class OnChipProfiler:
+    """Trace listener implementing the warp processor's profiler."""
+
+    def __init__(self, cache: Optional[BranchFrequencyCache] = None):
+        self.cache = cache if cache is not None else BranchFrequencyCache()
+        self.total_branches = 0
+        self.backward_taken = 0
+        self.instructions_observed = 0
+
+    # ---------------------------------------------------------- trace listener
+    def on_instruction(self, event: TraceEvent) -> None:
+        self.instructions_observed += 1
+        if not event.is_branch:
+            return
+        self.total_branches += 1
+        if event.branch_taken and event.branch_target is not None \
+                and event.branch_target < event.pc:
+            self.backward_taken += 1
+            self.cache.record(event.pc, event.branch_target)
+
+    # ------------------------------------------------------------------ results
+    def critical_regions(self, top: int = 8) -> List[CriticalRegion]:
+        """The hottest candidate loops, most frequent first."""
+        total = self.cache.total_count() or 1
+        regions = []
+        for entry in self.cache.entries()[:top]:
+            regions.append(
+                CriticalRegion(
+                    start_address=entry.target_address,
+                    end_address=entry.branch_address,
+                    frequency=entry.count,
+                    relative_weight=entry.count / total,
+                )
+            )
+        return regions
+
+    def most_critical_region(self) -> Optional[CriticalRegion]:
+        """The single most critical region (what the DPM partitions)."""
+        regions = self.critical_regions(top=1)
+        return regions[0] if regions else None
+
+    def summary(self) -> str:
+        region = self.most_critical_region()
+        lines = [
+            f"profiled {self.instructions_observed} instructions, "
+            f"{self.backward_taken} taken backward branches",
+        ]
+        if region is not None:
+            lines.append(f"most critical region: {region}")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""On-chip synthesis (the back half of ROCPART).
+
+Binds the decompiled kernel's dataflow graph onto the warp configurable
+logic architecture: the DADG takes the address arithmetic, the 32-bit MAC
+takes the multiplies, constant shifts and masks become wires, everything
+else becomes LUT logic.  The loop sequencer's next-state logic goes through
+the lean two-level minimiser (:mod:`~repro.synthesis.logic_min`) and the
+3-input LUT technology mapper (:mod:`~repro.synthesis.techmap`).
+"""
+
+from .datapath import (
+    ControlUnit,
+    DatapathComponent,
+    DatapathSynthesizer,
+    SynthesisResult,
+    possible_ones,
+    synthesize_kernel,
+)
+from .logic_min import (
+    LogicError,
+    MinimizationResult,
+    TwoLevelMinimizer,
+    count_literals,
+    cover_evaluates,
+    cube_covers,
+    minimize_cover,
+    minterms_to_cover,
+    truth_table,
+)
+from .techmap import LutNode, MappedNetwork, estimate_word_operator_luts, map_cover_to_luts
+
+__all__ = [
+    "ControlUnit",
+    "DatapathComponent",
+    "DatapathSynthesizer",
+    "SynthesisResult",
+    "possible_ones",
+    "synthesize_kernel",
+    "LogicError",
+    "MinimizationResult",
+    "TwoLevelMinimizer",
+    "count_literals",
+    "cover_evaluates",
+    "cube_covers",
+    "minimize_cover",
+    "minterms_to_cover",
+    "truth_table",
+    "LutNode",
+    "MappedNetwork",
+    "estimate_word_operator_luts",
+    "map_cover_to_luts",
+]

@@ -1,0 +1,404 @@
+"""Datapath synthesis: binding the decompiled kernel onto the WCLA.
+
+This is the back half of the on-chip partitioning tools: the kernel's
+dataflow graph is split between
+
+* the **data address generator** (DADG), which absorbs the address
+  arithmetic of every regular (affine) memory access,
+* the **32-bit multiplier-accumulator**, which executes the multiply
+  operations (one per cycle),
+* the **configurable logic fabric**, which implements everything else —
+  adders, logic operations, multiplexers, comparators — as LUT networks,
+* plain **wires**, for the operations that need no logic at all: shifts by
+  constants, masks with constants, merges of bit-disjoint values, sign
+  extensions.  The wire analysis is what makes ``brev``'s kernel collapse
+  to "only wires", the behaviour the paper highlights.
+
+The module also synthesises the loop-control sequencer (a small FSM) whose
+next-state logic is minimised with the lean two-level minimiser and mapped
+onto 3-input LUTs, and computes the kernel's initiation interval from the
+single memory port and the single MAC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..decompile.expr import (
+    BinExpr,
+    Condition,
+    Const,
+    LiveIn,
+    Load,
+    Mux,
+    Node,
+    OpKind,
+    UnExpr,
+    walk,
+)
+from ..decompile.kernel import HardwareKernel
+from .logic_min import minimize_cover, minterms_to_cover
+from .techmap import estimate_word_operator_luts, map_cover_to_luts
+
+WORD_MASK = 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- results
+@dataclass
+class DatapathComponent:
+    """One DFG node bound to fabric logic, the MAC, or plain wires."""
+
+    node_id: int
+    kind: str              # "add", "logic", "mux", "compare", "mac", "wire", ...
+    description: str
+    luts: int
+    levels: int
+    uses_mac: bool = False
+    width: int = 32
+
+
+@dataclass
+class ControlUnit:
+    """The synthesised loop sequencer (counter FSM + next-state logic)."""
+
+    num_states: int
+    state_bits: int
+    luts: int
+    depth: int
+    minimized_literals: int
+    original_literals: int
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the placement/routing and timing models need."""
+
+    kernel: HardwareKernel
+    components: List[DatapathComponent] = field(default_factory=list)
+    control: Optional[ControlUnit] = None
+    mac_operations: int = 0
+    wire_only_nodes: int = 0
+    datapath_luts: int = 0
+    control_luts: int = 0
+    critical_path_levels: int = 0
+    initiation_interval: int = 1
+    memory_reads_per_iteration: int = 0
+    memory_writes_per_iteration: int = 0
+    dadg_accesses: int = 0
+    live_in_count: int = 0
+    live_out_count: int = 0
+
+    @property
+    def total_luts(self) -> int:
+        return self.datapath_luts + self.control_luts
+
+    def summary(self) -> str:
+        return (
+            f"datapath: {self.datapath_luts} LUTs, control: {self.control_luts} LUTs, "
+            f"MAC ops/iter: {self.mac_operations}, wires-only nodes: {self.wire_only_nodes}, "
+            f"II: {self.initiation_interval}, critical path: {self.critical_path_levels} levels"
+        )
+
+
+# --------------------------------------------------------------------------- bit analysis
+def possible_ones(node: Node, cache: Dict[int, int]) -> int:
+    """Bits of ``node`` that can possibly be 1 (conservative superset)."""
+    if node.node_id in cache:
+        return cache[node.node_id]
+    result = WORD_MASK
+    if isinstance(node, Const):
+        result = node.value & WORD_MASK
+    elif isinstance(node, (LiveIn, Load)):
+        result = WORD_MASK if not isinstance(node, Load) or node.width == 4 \
+            else (1 << (8 * node.width)) - 1
+    elif isinstance(node, Condition):
+        result = 1
+    elif isinstance(node, UnExpr):
+        result = WORD_MASK
+    elif isinstance(node, Mux):
+        result = possible_ones(node.if_true, cache) | possible_ones(node.if_false, cache)
+    elif isinstance(node, BinExpr):
+        left = possible_ones(node.left, cache)
+        right = possible_ones(node.right, cache)
+        op = node.op
+        if op is OpKind.AND:
+            result = left & right
+        elif op in (OpKind.OR, OpKind.XOR):
+            result = left | right
+        elif op is OpKind.ANDN:
+            result = left
+        elif op is OpKind.SHL and isinstance(node.right, Const):
+            result = (left << (node.right.value & 31)) & WORD_MASK
+        elif op is OpKind.SHR_LOGICAL and isinstance(node.right, Const):
+            result = left >> (node.right.value & 31)
+        elif op is OpKind.SHR_ARITH and isinstance(node.right, Const):
+            shift = node.right.value & 31
+            result = left >> shift
+            if left & 0x8000_0000:
+                result |= (WORD_MASK << max(0, 32 - shift)) & WORD_MASK
+        elif op in (OpKind.ADD, OpKind.SUB):
+            # The sum can carry one position past the widest operand.
+            combined = left | right
+            width = combined.bit_length()
+            result = (1 << min(32, width + 1)) - 1 if combined else 0
+            if op is OpKind.SUB:
+                result = WORD_MASK  # subtraction can borrow through the sign
+        else:
+            result = WORD_MASK
+    cache[node.node_id] = result
+    return result
+
+
+def _effective_width(mask: int) -> int:
+    return mask.bit_length()
+
+
+# --------------------------------------------------------------------------- synthesis
+class DatapathSynthesizer:
+    """Binds a :class:`HardwareKernel` onto the WCLA resources."""
+
+    def __init__(self, kernel: HardwareKernel, lut_inputs: int = 3,
+                 memory_ports: int = 1):
+        self.kernel = kernel
+        self.lut_inputs = lut_inputs
+        self.memory_ports = memory_ports
+        self._ones_cache: Dict[int, int] = {}
+        self._level_cache: Dict[int, int] = {}
+        self._components: Dict[int, DatapathComponent] = {}
+
+    # ------------------------------------------------------------------ driver
+    def synthesize(self) -> SynthesisResult:
+        kernel = self.kernel
+        datapath_roots = self._datapath_roots()
+        address_only = self._address_only_nodes(datapath_roots)
+
+        for root in datapath_roots:
+            for node in walk(root):
+                if node.node_id in self._components or node.node_id in address_only:
+                    continue
+                component = self._bind_node(node)
+                if component is not None:
+                    self._components[node.node_id] = component
+
+        components = list(self._components.values())
+        mac_operations = sum(1 for c in components if c.uses_mac)
+        datapath_luts = sum(c.luts for c in components)
+        wire_only = sum(1 for c in components if c.kind == "wire")
+
+        reads = kernel.operations.loads
+        writes = kernel.operations.stores
+        initiation_interval = max(
+            1,
+            math.ceil((reads + writes) / self.memory_ports),
+            mac_operations,
+        )
+        control = self._synthesize_control(initiation_interval, reads + writes)
+        critical_path = self._critical_path(datapath_roots, address_only)
+
+        return SynthesisResult(
+            kernel=kernel,
+            components=components,
+            control=control,
+            mac_operations=mac_operations,
+            wire_only_nodes=wire_only,
+            datapath_luts=datapath_luts,
+            control_luts=control.luts,
+            critical_path_levels=critical_path,
+            initiation_interval=initiation_interval,
+            memory_reads_per_iteration=reads,
+            memory_writes_per_iteration=writes,
+            dadg_accesses=len(kernel.memory_accesses),
+            live_in_count=len(kernel.live_in_registers),
+            live_out_count=len(kernel.live_out_registers),
+        )
+
+    # ---------------------------------------------------------------- node sets
+    def _datapath_roots(self) -> List[Node]:
+        body = self.kernel.body
+        roots: List[Node] = list(body.register_updates.values())
+        for store in body.stores:
+            roots.append(store.value)
+            if store.guard is not None:
+                roots.append(store.guard)
+        if body.continue_condition is not None:
+            roots.append(body.continue_condition)
+        return roots
+
+    def _address_only_nodes(self, datapath_roots: List[Node]) -> Set[int]:
+        """Nodes reachable only from regular-access addresses (DADG territory)."""
+        body = self.kernel.body
+        address_nodes: Set[int] = set()
+        for load in body.loads:
+            for node in walk(load.address):
+                address_nodes.add(node.node_id)
+        for store in body.stores:
+            for node in walk(store.address):
+                address_nodes.add(node.node_id)
+        datapath_nodes: Set[int] = set()
+        for root in datapath_roots:
+            for node in walk(root):
+                if isinstance(node, Load):
+                    # The load's value is datapath, its address is not.
+                    datapath_nodes.add(node.node_id)
+                    continue
+                datapath_nodes.add(node.node_id)
+        # Everything under a Load address that is *also* reachable as a value
+        # stays in the datapath; the rest belongs to the DADG.
+        value_reachable: Set[int] = set()
+        for root in datapath_roots:
+            for node in walk(root):
+                if isinstance(node, Load):
+                    continue
+                value_reachable.add(node.node_id)
+        return address_nodes - value_reachable
+
+    # ------------------------------------------------------------------ binding
+    def _bind_node(self, node: Node) -> Optional[DatapathComponent]:
+        ones = self._ones_cache
+        if isinstance(node, (Const, LiveIn)):
+            return None
+        if isinstance(node, Load):
+            return DatapathComponent(node.node_id, "load", str(node), luts=0, levels=0)
+        if isinstance(node, Condition):
+            width = _effective_width(possible_ones(node.value, ones))
+            if node.relation in ("lt", "ge"):
+                return DatapathComponent(node.node_id, "wire",
+                                         f"sign bit of {node.value}", 0, 0)
+            luts, depth = estimate_word_operator_luts(max(1, width), "reduce",
+                                                      self.lut_inputs)
+            return DatapathComponent(node.node_id, "compare", str(node), luts, depth)
+        if isinstance(node, UnExpr):
+            if node.op in (OpKind.SEXT8, OpKind.SEXT16):
+                return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+            luts, depth = estimate_word_operator_luts(32, "add", self.lut_inputs)
+            return DatapathComponent(node.node_id, "add", str(node), luts, depth)
+        if isinstance(node, Mux):
+            width = _effective_width(
+                possible_ones(node.if_true, ones) | possible_ones(node.if_false, ones)
+            )
+            luts, depth = estimate_word_operator_luts(max(1, width), "mux",
+                                                      self.lut_inputs)
+            return DatapathComponent(node.node_id, "mux", str(node), luts, depth)
+        if isinstance(node, BinExpr):
+            return self._bind_binary(node)
+        raise TypeError(f"cannot bind node {node!r}")
+
+    def _bind_binary(self, node: BinExpr) -> DatapathComponent:
+        ones = self._ones_cache
+        op = node.op
+        left_mask = possible_ones(node.left, ones)
+        right_mask = possible_ones(node.right, ones)
+
+        # Shifts by constants are wiring.
+        if op in (OpKind.SHL, OpKind.SHR_LOGICAL, OpKind.SHR_ARITH):
+            if isinstance(node.right, Const):
+                return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+            luts, depth = estimate_word_operator_luts(32, "mux", self.lut_inputs)
+            # A variable shifter is a barrel of log2(32) mux stages.
+            return DatapathComponent(node.node_id, "shift", str(node),
+                                     luts * 5, depth * 5)
+        # Masking with a constant selects wires; merging bit-disjoint values
+        # is also pure wiring.
+        if op is OpKind.AND and (isinstance(node.left, Const) or isinstance(node.right, Const)):
+            return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+        if op in (OpKind.OR, OpKind.XOR) and (left_mask & right_mask) == 0:
+            return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+        if op is OpKind.MUL:
+            if isinstance(node.right, Const) and _is_power_of_two(node.right.value):
+                return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+            if isinstance(node.left, Const) and _is_power_of_two(node.left.value):
+                return DatapathComponent(node.node_id, "wire", str(node), 0, 0)
+            return DatapathComponent(node.node_id, "mac", str(node), 0, 0,
+                                     uses_mac=True)
+        width = _effective_width(left_mask | right_mask)
+        width = max(1, min(32, width))
+        if op in (OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ANDN):
+            luts, depth = estimate_word_operator_luts(width, "and", self.lut_inputs)
+            return DatapathComponent(node.node_id, "logic", str(node), luts, depth,
+                                     width=width)
+        if op in (OpKind.ADD, OpKind.SUB):
+            luts, depth = estimate_word_operator_luts(width, "add", self.lut_inputs)
+            return DatapathComponent(node.node_id, "add", str(node), luts, depth,
+                                     width=width)
+        if op in (OpKind.CMP_SIGN, OpKind.CMP_SIGN_U):
+            luts, depth = estimate_word_operator_luts(width, "compare", self.lut_inputs)
+            return DatapathComponent(node.node_id, "compare", str(node), luts, depth,
+                                     width=width)
+        raise ValueError(f"unhandled binary op {op}")
+
+    # ---------------------------------------------------------------- timing
+    def _critical_path(self, roots: List[Node], address_only: Set[int]) -> int:
+        def level(node: Node) -> int:
+            if node.node_id in self._level_cache:
+                return self._level_cache[node.node_id]
+            component = self._components.get(node.node_id)
+            own = component.levels if component is not None else 0
+            # The MAC occupies a full pipeline stage; model it as a deep node.
+            if component is not None and component.uses_mac:
+                own = 8
+            children: List[Node] = []
+            if isinstance(node, BinExpr):
+                children = [node.left, node.right]
+            elif isinstance(node, UnExpr):
+                children = [node.operand]
+            elif isinstance(node, Mux):
+                children = [node.condition, node.if_true, node.if_false]
+            elif isinstance(node, Condition):
+                children = [node.value]
+            result = own + max((level(child) for child in children
+                                if child.node_id not in address_only), default=0)
+            self._level_cache[node.node_id] = result
+            return result
+
+        return max((level(root) for root in roots), default=0)
+
+    # ---------------------------------------------------------------- control
+    def _synthesize_control(self, initiation_interval: int,
+                            memory_accesses: int) -> ControlUnit:
+        """Synthesise the loop sequencer FSM through the ROCM + LUT mapper."""
+        num_states = max(2, initiation_interval + 2)  # issue states + test/writeback
+        state_bits = max(1, math.ceil(math.log2(num_states)))
+        total_luts = 0
+        depth = 0
+        original_literals = 0
+        minimized_literals = 0
+        # One next-state function per state bit: state' = state + 1 (mod N),
+        # qualified by a "run" input (variable index state_bits).
+        num_vars = state_bits + 1
+        for bit in range(state_bits):
+            minterms = []
+            for state in range(num_states):
+                next_state = (state + 1) % num_states
+                if (next_state >> bit) & 1:
+                    minterms.append(state | (1 << state_bits))  # run = 1
+                if (state >> bit) & 1:
+                    minterms.append(state)  # run = 0 holds the state
+            cover = minterms_to_cover(num_vars, sorted(set(minterms)))
+            result = minimize_cover(num_vars, cover)
+            mapped = map_cover_to_luts(result.cover, num_vars, f"state{bit}",
+                                       self.lut_inputs)
+            total_luts += mapped.lut_count
+            depth = max(depth, mapped.depth)
+            original_literals += result.original_literals
+            minimized_literals += result.minimized_literals
+        return ControlUnit(
+            num_states=num_states,
+            state_bits=state_bits,
+            luts=total_luts,
+            depth=depth,
+            minimized_literals=minimized_literals,
+            original_literals=original_literals,
+        )
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def synthesize_kernel(kernel: HardwareKernel, lut_inputs: int = 3,
+                      memory_ports: int = 1) -> SynthesisResult:
+    """Synthesise ``kernel`` onto the WCLA (convenience wrapper)."""
+    return DatapathSynthesizer(kernel, lut_inputs=lut_inputs,
+                               memory_ports=memory_ports).synthesize()

@@ -1,0 +1,170 @@
+"""Lean two-level logic minimisation (the "ROCM" of the on-chip tools).
+
+The warp processor's partitioning tools include an on-chip logic minimiser
+(Lysecky & Vahid, DAC 2003) designed to run on a small embedded processor:
+a single-expand/irredundant pass over a cube list rather than a full
+Espresso loop.  This module implements that lean minimiser for single-output
+boolean functions expressed as sum-of-products cube lists.
+
+A cube over ``n`` variables is a string of ``'0'``, ``'1'`` and ``'-'``
+characters.  The minimiser is used by the synthesis flow to shrink the
+WCLA's loop-control and sequencing logic before LUT technology mapping, and
+it is independently unit- and property-tested (the minimised cover must be
+logically equivalent to the original).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+
+class LogicError(ValueError):
+    """Raised for malformed cubes or covers."""
+
+
+def _check_cube(cube: str, num_vars: int) -> None:
+    if len(cube) != num_vars or any(c not in "01-" for c in cube):
+        raise LogicError(f"malformed cube {cube!r} for {num_vars} variables")
+
+
+def cube_covers(cube: str, minterm: int, num_vars: int) -> bool:
+    """Whether ``cube`` covers the minterm with the given integer encoding.
+
+    Bit ``i`` of ``minterm`` is the value of variable ``i`` (variable 0 is
+    the first character of the cube string).
+    """
+    for position in range(num_vars):
+        bit = (minterm >> position) & 1
+        literal = cube[position]
+        if literal == "-":
+            continue
+        if int(literal) != bit:
+            return False
+    return True
+
+
+def cover_evaluates(cover: Sequence[str], minterm: int, num_vars: int) -> bool:
+    """Evaluate a sum-of-products cover on one input assignment."""
+    return any(cube_covers(cube, minterm, num_vars) for cube in cover)
+
+
+def truth_table(cover: Sequence[str], num_vars: int) -> List[bool]:
+    """Exhaustive truth table of a cover (2**num_vars entries)."""
+    return [cover_evaluates(cover, minterm, num_vars)
+            for minterm in range(1 << num_vars)]
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of minimising one cover."""
+
+    original_cubes: int
+    minimized_cubes: int
+    original_literals: int
+    minimized_literals: int
+    cover: List[str]
+
+    @property
+    def literal_reduction(self) -> float:
+        if self.original_literals == 0:
+            return 0.0
+        return 1.0 - self.minimized_literals / self.original_literals
+
+
+def count_literals(cover: Iterable[str]) -> int:
+    return sum(sum(1 for c in cube if c != "-") for cube in cover)
+
+
+class TwoLevelMinimizer:
+    """Single-pass expand / irredundant minimiser for single-output covers."""
+
+    def __init__(self, num_vars: int, on_set: Sequence[str]):
+        self.num_vars = num_vars
+        for cube in on_set:
+            _check_cube(cube, num_vars)
+        self.on_set = list(dict.fromkeys(on_set))  # dedupe, preserve order
+
+    # ------------------------------------------------------------------ oracle
+    def _function_value(self, minterm: int) -> bool:
+        return cover_evaluates(self.on_set, minterm, self.num_vars)
+
+    def _cube_valid(self, cube: str) -> bool:
+        """A cube is valid when it covers only on-set minterms."""
+        free_positions = [i for i, c in enumerate(cube) if c == "-"]
+        base = 0
+        for i, c in enumerate(cube):
+            if c == "1":
+                base |= 1 << i
+        for assignment in range(1 << len(free_positions)):
+            minterm = base
+            for bit_index, position in enumerate(free_positions):
+                if (assignment >> bit_index) & 1:
+                    minterm |= 1 << position
+            if not self._function_value(minterm):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ passes
+    def _expand_cube(self, cube: str) -> str:
+        """Greedily raise literals to don't-care while the cube stays valid."""
+        cube_chars = list(cube)
+        for position in range(self.num_vars):
+            if cube_chars[position] == "-":
+                continue
+            saved = cube_chars[position]
+            cube_chars[position] = "-"
+            if not self._cube_valid("".join(cube_chars)):
+                cube_chars[position] = saved
+        return "".join(cube_chars)
+
+    def _irredundant(self, cover: List[str]) -> List[str]:
+        """Drop cubes whose minterms are covered by the remaining cubes."""
+        result = list(cover)
+        index = 0
+        while index < len(result):
+            candidate = result[:index] + result[index + 1:]
+            if candidate and self._covers_same(candidate):
+                result = candidate
+            else:
+                index += 1
+        return result
+
+    def _covers_same(self, candidate: List[str]) -> bool:
+        for minterm in range(1 << self.num_vars):
+            if self._function_value(minterm) != cover_evaluates(
+                    candidate, minterm, self.num_vars):
+                return False
+        return True
+
+    def minimize(self) -> MinimizationResult:
+        if not self.on_set:
+            return MinimizationResult(0, 0, 0, 0, [])
+        expanded = [self._expand_cube(cube) for cube in self.on_set]
+        expanded = list(dict.fromkeys(expanded))
+        reduced = self._irredundant(expanded)
+        return MinimizationResult(
+            original_cubes=len(self.on_set),
+            minimized_cubes=len(reduced),
+            original_literals=count_literals(self.on_set),
+            minimized_literals=count_literals(reduced),
+            cover=reduced,
+        )
+
+
+def minimize_cover(num_vars: int, on_set: Sequence[str]) -> MinimizationResult:
+    """Minimise a single-output sum-of-products cover."""
+    if num_vars > 12:
+        raise LogicError(
+            "the lean on-chip minimiser is limited to 12 variables per output"
+        )
+    return TwoLevelMinimizer(num_vars, list(on_set)).minimize()
+
+
+def minterms_to_cover(num_vars: int, minterms: Iterable[int]) -> List[str]:
+    """Build the canonical (one cube per minterm) cover of a function."""
+    cover = []
+    for minterm in minterms:
+        cube = "".join("1" if (minterm >> i) & 1 else "0" for i in range(num_vars))
+        cover.append(cube)
+    return cover

@@ -1,0 +1,16 @@
+"""Warp processors: single-core (Figure 2) and multi-core (Figure 4)."""
+
+from .multiprocessor import (
+    CorePartitioningSchedule,
+    MultiProcessorResult,
+    MultiProcessorWarpSystem,
+)
+from .processor import WarpProcessor, WarpRunResult
+
+__all__ = [
+    "CorePartitioningSchedule",
+    "MultiProcessorResult",
+    "MultiProcessorWarpSystem",
+    "WarpProcessor",
+    "WarpRunResult",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (compiled benchmark programs, warp runs) are cached at
+session scope so the many tests that need "a compiled benchmark" do not
+each pay for compilation and simulation again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_benchmark
+from repro.compiler import compile_source
+from repro.microblaze import PAPER_CONFIG
+
+
+@pytest.fixture(scope="session")
+def small_benchmarks():
+    """Small instances of all six benchmarks, keyed by name."""
+    from repro.apps import build_suite
+
+    return {bench.name: bench for bench in build_suite(small=True)}
+
+
+@pytest.fixture(scope="session")
+def compiled_small_programs(small_benchmarks):
+    """Compiled (paper configuration) program images of the small suite."""
+    programs = {}
+    for name, bench in small_benchmarks.items():
+        programs[name] = compile_source(bench.source, name=name,
+                                        config=PAPER_CONFIG).program
+    return programs
+
+
+@pytest.fixture(scope="session")
+def warp_small_results(compiled_small_programs):
+    """Warp-processing results for the small suite (computed once)."""
+    from repro.warp import WarpProcessor
+
+    processor = WarpProcessor(config=PAPER_CONFIG)
+    return {name: processor.run(program.copy())
+            for name, program in compiled_small_programs.items()}

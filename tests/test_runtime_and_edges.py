@@ -1,0 +1,103 @@
+"""Edge-case tests: software runtime routines, IR printing, patches, reports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_source, lower_to_ir, parse
+from repro.compiler.runtime import available_routines
+from repro.isa import decode, disassemble, listing
+from repro.microblaze import MINIMAL_CONFIG, PAPER_CONFIG, run_program
+
+
+def run_main(source: str, config=MINIMAL_CONFIG) -> int:
+    result = compile_source(source, name="edge", config=config)
+    return run_program(result.program, config).return_value
+
+
+def signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class TestSoftwareRuntimeRoutines:
+    """The __mulsi3 / __divsi3 / __modsi3 / __ashl / __ashr library."""
+
+    def test_all_routines_available(self):
+        assert {"__mulsi3", "__divsi3", "__modsi3", "__ashl", "__ashr"} \
+            <= available_routines()
+
+    @pytest.mark.parametrize("a,b", [(0, 5), (5, 0), (-1, -1), (123456, 7),
+                                     (-50000, 31), (7, -9), (65535, 65535)])
+    def test_soft_multiply_cases(self, a, b):
+        value = run_main(f"int main() {{ int a = {a}; int b = {b}; return a * b; }}")
+        assert value == (a * b) & 0xFFFFFFFF
+
+    @pytest.mark.parametrize("a,b", [(100, 7), (-100, 7), (100, -7), (-100, -7),
+                                     (7, 100), (0, 3), (5, 0), (1 << 30, 3)])
+    def test_soft_divide_cases(self, a, b):
+        value = run_main(f"int main() {{ int a = {a}; int b = {b}; return a / b; }}")
+        expected = 0 if b == 0 else int(a / b)
+        assert signed(value) == expected
+
+    @pytest.mark.parametrize("a,b", [(100, 7), (-100, 7), (100, -7), (17, 17), (3, 10)])
+    def test_soft_modulo_cases(self, a, b):
+        value = run_main(f"int main() {{ int a = {a}; int b = {b}; return a % b; }}")
+        expected = a - int(a / b) * b
+        assert signed(value) == expected
+
+    @given(a=st.integers(-10**6, 10**6), b=st.integers(1, 10**4))
+    @settings(max_examples=10, deadline=None)
+    def test_divide_property(self, a, b):
+        value = run_main(f"int main() {{ int a = {a}; int b = {b}; return a / b; }}")
+        assert signed(value) == int(a / b)
+
+
+class TestIrAndDiagnostics:
+    def test_ir_is_printable(self):
+        module = lower_to_ir(parse("""
+        int data[4];
+        int main() { int i; for (i = 0; i < 4; i = i + 1) { data[i] = i * 3; } return data[2]; }
+        """))
+        text = str(module)
+        assert "function main" in text
+        assert "goto" in text
+
+    def test_disassembler_matches_assembly(self):
+        result = compile_source("int main() { return 5 + 6; }", config=PAPER_CONFIG)
+        instructions = disassemble(result.program.text)
+        assert len(instructions) == result.program.num_instructions
+        assert "main" in listing(result.program)
+
+    def test_compilation_result_metadata(self):
+        result = compile_source("int main() { return 1; }", config=PAPER_CONFIG)
+        assert result.name == "program"
+        assert result.config is PAPER_CONFIG
+        assert result.assembly.startswith(".text")
+
+
+class TestPatchRobustness:
+    def test_scratch_register_liveins_rejected(self, compiled_small_programs):
+        from repro.decompile import decompile_and_extract
+        from repro.partition import PatchError, apply_patch
+        from repro.profiler import OnChipProfiler
+
+        program = compiled_small_programs["g3fax"].copy()
+        profiler = OnChipProfiler()
+        run_program(program, PAPER_CONFIG, listeners=[profiler])
+        kernel = decompile_and_extract(program.text, profiler.most_critical_region())
+        # Forcibly claim a scratch register is live-in: the patcher must refuse.
+        object.__setattr__(kernel, "live_in_registers",
+                           tuple(kernel.live_in_registers) + (18,))
+        with pytest.raises(PatchError):
+            apply_patch(program, kernel)
+
+    def test_patched_program_is_larger_and_decodable(self, warp_small_results,
+                                                     compiled_small_programs):
+        result = warp_small_results["bitmnp"]
+        stub_words = result.partitioning.patch.stub_words
+        for word in stub_words:
+            decode(word)  # every stub word must be a valid instruction
+        assert result.partitioning.patch.stub_address == \
+            4 * len(compiled_small_programs["bitmnp"].text)

@@ -1,0 +1,176 @@
+"""Tests for synthesis (logic minimisation, technology mapping, datapath
+binding) and the WCLA fabric (placement, routing, timing, execution)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decompile import decompile_and_extract
+from repro.fabric import (
+    DEFAULT_WCLA,
+    WclaParameters,
+    estimate_timing,
+    implement_kernel,
+    place_kernel,
+    route_kernel,
+)
+from repro.microblaze import PAPER_CONFIG, run_program
+from repro.profiler import OnChipProfiler
+from repro.synthesis import (
+    cover_evaluates,
+    estimate_word_operator_luts,
+    map_cover_to_luts,
+    minimize_cover,
+    minterms_to_cover,
+    synthesize_kernel,
+    truth_table,
+)
+
+
+def _kernel_for(program):
+    profiler = OnChipProfiler()
+    run_program(program, PAPER_CONFIG, listeners=[profiler])
+    region = profiler.most_critical_region()
+    return decompile_and_extract(program.text, region)
+
+
+@pytest.fixture(scope="module")
+def kernels(compiled_small_programs):
+    return {name: _kernel_for(program)
+            for name, program in compiled_small_programs.items()}
+
+
+# --------------------------------------------------------------------------- logic minimisation
+class TestLogicMinimizer:
+    def test_redundant_cover_shrinks(self):
+        # f = a'b + ab + ab' = a + b
+        result = minimize_cover(2, ["01", "11", "10"])
+        assert result.minimized_cubes <= 2
+        assert result.minimized_literals < result.original_literals
+
+    def test_equivalence_preserved(self):
+        cover = ["0101", "0111", "1101", "1111", "0011"]
+        result = minimize_cover(4, cover)
+        assert truth_table(cover, 4) == truth_table(result.cover, 4)
+
+    def test_single_minterm(self):
+        result = minimize_cover(3, minterms_to_cover(3, [5]))
+        assert truth_table(result.cover, 3)[5] is True
+        assert sum(truth_table(result.cover, 3)) == 1
+
+    def test_variable_limit_enforced(self):
+        from repro.synthesis import LogicError
+        with pytest.raises(LogicError):
+            minimize_cover(13, ["-" * 13])
+
+    @given(st.sets(st.integers(0, 31), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_minimization_equivalence_property(self, minterms):
+        cover = minterms_to_cover(5, sorted(minterms))
+        result = minimize_cover(5, cover)
+        for minterm in range(32):
+            expected = minterm in minterms
+            assert cover_evaluates(result.cover, minterm, 5) == expected
+
+
+# --------------------------------------------------------------------------- technology mapping
+class TestTechMap:
+    def test_single_literal_is_free(self):
+        mapped = map_cover_to_luts(["1-"], 2, "f")
+        assert mapped.lut_count == 0
+
+    def test_wide_product_needs_tree(self):
+        mapped = map_cover_to_luts(["11111111"], 8, "f", lut_inputs=3)
+        assert mapped.lut_count >= 3
+        assert mapped.depth >= 2
+
+    def test_word_operator_estimates(self):
+        add_luts, add_depth = estimate_word_operator_luts(32, "add")
+        logic_luts, logic_depth = estimate_word_operator_luts(32, "and")
+        assert add_luts > logic_luts
+        assert add_depth > logic_depth
+        assert estimate_word_operator_luts(0, "add") == (0, 0)
+        with pytest.raises(ValueError):
+            estimate_word_operator_luts(8, "bogus")
+
+
+# --------------------------------------------------------------------------- datapath synthesis
+class TestDatapathSynthesis:
+    def test_brev_kernel_is_mostly_wires(self, kernels):
+        synthesis = synthesize_kernel(kernels["brev"])
+        assert synthesis.wire_only_nodes >= 10
+        assert synthesis.mac_operations == 0
+        # The bit-reversal itself needs no logic; only checksum/induction adders.
+        assert synthesis.datapath_luts < 200
+
+    def test_matmul_kernel_uses_mac(self, kernels):
+        synthesis = synthesize_kernel(kernels["matmul"])
+        assert synthesis.mac_operations >= 1
+        assert synthesis.initiation_interval >= 2  # two loads, one port
+
+    def test_g3fax_kernel_single_store(self, kernels):
+        synthesis = synthesize_kernel(kernels["g3fax"])
+        assert synthesis.memory_writes_per_iteration == 1
+        assert synthesis.initiation_interval == 1
+
+    def test_control_unit_synthesised(self, kernels):
+        synthesis = synthesize_kernel(kernels["canrdr"])
+        assert synthesis.control is not None
+        assert synthesis.control.luts > 0
+        assert synthesis.control.minimized_literals <= synthesis.control.original_literals
+
+    def test_summary_text(self, kernels):
+        synthesis = synthesize_kernel(kernels["bitmnp"])
+        assert "LUTs" in synthesis.summary()
+
+
+# --------------------------------------------------------------------------- fabric
+class TestFabricFlow:
+    def test_place_route_time_implement(self, kernels):
+        for name in ("brev", "matmul", "canrdr"):
+            kernel = kernels[name]
+            synthesis = synthesize_kernel(kernel)
+            placement = place_kernel(synthesis, DEFAULT_WCLA)
+            routing = route_kernel(placement, DEFAULT_WCLA)
+            implementation = implement_kernel(kernel, synthesis, placement,
+                                              routing, DEFAULT_WCLA)
+            assert placement.area.fits
+            assert placement.total_wirelength >= 0
+            assert routing.iterations >= 1
+            assert 10.0 <= implementation.clock_mhz <= DEFAULT_WCLA.max_clock_mhz
+            assert implementation.cycles_for_iterations(10) > \
+                implementation.cycles_for_iterations(1)
+            assert implementation.cycles_for_iterations(0) == 0
+            assert implementation.bitstream.total_bits > 0
+
+    def test_placement_respects_fixed_sites(self, kernels):
+        synthesis = synthesize_kernel(kernels["matmul"])
+        placement = place_kernel(synthesis, DEFAULT_WCLA)
+        assert placement.components["mac"].fixed
+        locations = [c.location for c in placement.components.values()
+                     if c.location is not None and not c.fixed]
+        assert len(set(locations)) == len(locations)  # no two anchors collide
+
+    def test_routing_congestion_reported(self, kernels):
+        synthesis = synthesize_kernel(kernels["bitmnp"])
+        placement = place_kernel(synthesis, DEFAULT_WCLA)
+        routing = route_kernel(placement, DEFAULT_WCLA)
+        assert routing.max_channel_occupancy <= routing.channel_capacity \
+            or routing.congested
+
+    def test_timing_limiting_factor_labelled(self, kernels):
+        synthesis = synthesize_kernel(kernels["matmul"])
+        placement = place_kernel(synthesis, DEFAULT_WCLA)
+        routing = route_kernel(placement, DEFAULT_WCLA)
+        timing = estimate_timing(synthesis, routing, DEFAULT_WCLA)
+        assert timing.limiting_factor() in ("fabric floor", "memory access",
+                                            "MAC", "logic recurrence")
+        assert timing.period_ns >= DEFAULT_WCLA.min_period_ns
+
+    def test_small_fabric_rejects_large_kernel(self, kernels):
+        from repro.fabric import FabricCapacityError, FabricParameters
+        tiny = WclaParameters(fabric=FabricParameters(rows=3, columns=3))
+        synthesis = synthesize_kernel(kernels["bitmnp"])
+        with pytest.raises(FabricCapacityError):
+            place_kernel(synthesis, tiny)
