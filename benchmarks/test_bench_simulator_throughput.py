@@ -1,0 +1,130 @@
+"""Simulator throughput trajectory — threaded-code engine vs interpreter.
+
+Measures, at full benchmark size:
+
+* simulated instructions per second over the six-application suite on the
+  reference interpreter (the seed engine) and the threaded-code engine,
+  asserting the bit-exactness of the faster engine along the way;
+* the wall time of the full ``run_evaluation()`` pipeline (Figures 6 and
+  7) on both engines.
+
+The numbers are written to ``BENCH_simulator.json`` at the repository
+root so future PRs have a recorded performance trajectory, and the
+acceptance thresholds of the threaded-engine work — at least 5x
+simulated-instruction throughput and at least 3x lower evaluation wall
+time — are asserted here so a regression cannot land silently.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.apps import build_suite
+from repro.compiler import compile_source_cached
+from repro.eval import run_evaluation
+from repro.microblaze import PAPER_CONFIG, run_program
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Acceptance thresholds of the threaded-code engine work (ISSUE 1).
+MIN_THROUGHPUT_SPEEDUP = 5.0
+MIN_EVALUATION_SPEEDUP = 3.0
+
+
+def _suite_programs():
+    return [(benchmark.name,
+             compile_source_cached(benchmark.source, name=benchmark.name,
+                                   config=PAPER_CONFIG).program)
+            for benchmark in build_suite()]
+
+
+def _measure_engine(programs, engine):
+    """Total instructions and wall seconds to run the suite on ``engine``."""
+    instructions = 0
+    seconds = 0.0
+    results = {}
+    for name, program in programs:
+        start = time.perf_counter()
+        result = run_program(program, PAPER_CONFIG, engine=engine)
+        seconds += time.perf_counter() - start
+        instructions += result.instructions
+        results[name] = result
+    return instructions, seconds, results
+
+
+def test_simulator_throughput_and_evaluation_walltime():
+    programs = _suite_programs()
+
+    interp_instr, interp_seconds, interp_results = \
+        _measure_engine(programs, "interp")
+    threaded_instr, threaded_seconds, threaded_results = \
+        _measure_engine(programs, "threaded")
+
+    # The engines must agree bit-for-bit before their speeds are compared.
+    assert threaded_instr == interp_instr
+    for name, _ in programs:
+        assert threaded_results[name].stats == interp_results[name].stats, name
+        assert threaded_results[name].return_value \
+            == interp_results[name].return_value, name
+
+    interp_ips = interp_instr / interp_seconds
+    threaded_ips = threaded_instr / threaded_seconds
+    throughput_speedup = threaded_ips / interp_ips
+
+    # Evaluation pipeline wall time (compile cache warmed by both paths
+    # equally via the shared compile_source_cached above).
+    start = time.perf_counter()
+    interp_suite = run_evaluation(engine="interp")
+    interp_eval_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    threaded_suite = run_evaluation(engine="threaded")
+    threaded_eval_seconds = time.perf_counter() - start
+    assert interp_suite.all_checksums_match
+    assert threaded_suite.all_checksums_match
+    evaluation_speedup = interp_eval_seconds / threaded_eval_seconds
+
+    record = {
+        "suite": {
+            "instructions": threaded_instr,
+            "interp_seconds": round(interp_seconds, 4),
+            "threaded_seconds": round(threaded_seconds, 4),
+            "interp_kips": round(interp_ips / 1e3, 1),
+            "threaded_kips": round(threaded_ips / 1e3, 1),
+            "throughput_speedup": round(throughput_speedup, 2),
+        },
+        "evaluation": {
+            "interp_seconds": round(interp_eval_seconds, 4),
+            "threaded_seconds": round(threaded_eval_seconds, 4),
+            "speedup": round(evaluation_speedup, 2),
+        },
+        "per_benchmark": {
+            name: {
+                "instructions": threaded_results[name].instructions,
+                "cycles": threaded_results[name].cycles,
+            }
+            for name, _ in programs
+        },
+        "thresholds": {
+            "throughput_speedup": MIN_THROUGHPUT_SPEEDUP,
+            "evaluation_speedup": MIN_EVALUATION_SPEEDUP,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert throughput_speedup >= MIN_THROUGHPUT_SPEEDUP, record["suite"]
+    assert evaluation_speedup >= MIN_EVALUATION_SPEEDUP, record["evaluation"]
+
+
+def test_threaded_engine_throughput_floor(benchmark):
+    """Absolute per-run throughput of the threaded engine (trend metric)."""
+    name, program = _suite_programs()[0]  # brev
+
+    result = benchmark(run_program, program, PAPER_CONFIG, engine="threaded")
+    assert result.stats.halted

@@ -11,7 +11,8 @@ output accordingly.
 """
 
 from .ast_nodes import TranslationUnit
-from .driver import CompilationResult, compile_source, compile_to_program
+from .driver import (CompilationResult, compile_source,
+                     compile_source_cached, compile_to_program)
 from .errors import CompileError, LexerError, ParseError, SemanticError
 from .ir import IRModule
 from .irgen import lower_to_ir
@@ -23,6 +24,7 @@ __all__ = [
     "TranslationUnit",
     "CompilationResult",
     "compile_source",
+    "compile_source_cached",
     "compile_to_program",
     "CompileError",
     "LexerError",

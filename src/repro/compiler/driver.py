@@ -14,6 +14,7 @@ configuration is a first-class input of :func:`compile_source`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Set
 
 from ..isa.assembler import assemble
@@ -78,3 +79,27 @@ def compile_to_program(
 ) -> Program:
     """Compile ``source`` and return only the program image."""
     return compile_source(source, name=name, config=config).program
+
+
+@lru_cache(maxsize=128)
+def _compile_source_memo(source: str, name: str,
+                         config: MicroBlazeConfig) -> CompilationResult:
+    return compile_source(source, name=name, config=config)
+
+
+def compile_source_cached(
+    source: str,
+    name: str = "program",
+    config: MicroBlazeConfig = PAPER_CONFIG,
+) -> CompilationResult:
+    """Memoized :func:`compile_source`.
+
+    The evaluation harness and the Section 2 configurability study compile
+    the same six benchmark sources over and over — once per processor
+    configuration per study per session.  Compilation is pure in
+    ``(source, name, config)`` (``MicroBlazeConfig`` is a frozen, hashable
+    dataclass), so the result is shared.  Callers must treat the returned
+    :class:`CompilationResult` as immutable: anything that patches the
+    program (the warp flow does) must operate on ``result.program.copy()``.
+    """
+    return _compile_source_memo(source, name, config)

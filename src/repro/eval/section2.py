@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..apps import build_benchmark
-from ..compiler import compile_source
+from ..compiler import compile_source_cached
 from ..isa.instructions import HwUnit
 from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
 from ..microblaze.system import run_program
@@ -80,10 +80,10 @@ def measure_case(benchmark_name: str, removed_units: Tuple[HwUnit, ...],
     benchmark = build_benchmark(benchmark_name, small=small)
     reduced_config = base_config.without(*removed_units)
 
-    baseline_program = compile_source(benchmark.source, name=benchmark.name,
-                                      config=base_config).program
-    reduced_program = compile_source(benchmark.source, name=benchmark.name,
-                                     config=reduced_config).program
+    baseline_program = compile_source_cached(benchmark.source, name=benchmark.name,
+                                             config=base_config).program
+    reduced_program = compile_source_cached(benchmark.source, name=benchmark.name,
+                                            config=reduced_config).program
     baseline = run_program(baseline_program, base_config)
     reduced = run_program(reduced_program, reduced_config)
     if baseline.return_value != reduced.return_value:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
-from ..decompile.expr import evaluate
+from ..decompile.expr import compile_node
 from ..microblaze.memory import BlockRAM
 from .implementation import HardwareImplementation
 
@@ -42,7 +42,14 @@ class KernelInvocation:
 
 
 class WclaExecutionEngine:
-    """Functionally executes one kernel's dataflow graph."""
+    """Functionally executes one kernel's dataflow graph.
+
+    The decompiled dataflow DAG is compiled once, at engine construction,
+    into operator-specialized closures (:func:`repro.decompile.expr.compile_node`)
+    — the datapath analogue of the threaded-code CPU engine.  Each
+    iteration then evaluates the compiled register updates, stores and
+    continue condition without any per-node type or operator dispatch.
+    """
 
     def __init__(self, implementation: HardwareImplementation,
                  max_iterations_per_invocation: int = 5_000_000):
@@ -50,6 +57,23 @@ class WclaExecutionEngine:
         self.kernel = implementation.kernel
         self.body = implementation.kernel.body
         self.max_iterations = max_iterations_per_invocation
+        # Compile the whole body against one shared memo cache so that
+        # sub-terms shared between register updates, store addresses and
+        # the continue condition compile to a single closure each.
+        memo: Dict[int, Callable] = {}
+        body = self.body
+        self._register_updates = tuple(
+            (register, compile_node(expr, memo))
+            for register, expr in body.register_updates.items()
+        )
+        self._stores = tuple(
+            (None if store.guard is None else compile_node(store.guard, memo),
+             compile_node(store.address, memo),
+             compile_node(store.value, memo),
+             store.width)
+            for store in body.stores
+        )
+        self._continue = compile_node(body.continue_condition, memo)
 
     def execute(
         self,
@@ -65,10 +89,13 @@ class WclaExecutionEngine:
         """
         state = dict(live_in)
         iterations = 0
-        body = self.body
+        register_updates = self._register_updates
+        stores = self._stores
+        continue_fn = self._continue
+        max_iterations = self.max_iterations
         while True:
             iterations += 1
-            if iterations > self.max_iterations:
+            if iterations > max_iterations:
                 raise HardwareExecutionError(
                     f"kernel at {self.kernel.region.start_address:#x} exceeded "
                     f"{self.max_iterations} iterations"
@@ -77,18 +104,17 @@ class WclaExecutionEngine:
             # Evaluate every register update and store against the state at
             # the start of the iteration, then commit (registered semantics).
             new_values = {
-                register: evaluate(expr, state, memory_read, loads_cache)
-                for register, expr in body.register_updates.items()
+                register: fn(state, memory_read, loads_cache)
+                for register, fn in register_updates
             }
-            for store in body.stores:
-                if store.guard is not None:
-                    if not evaluate(store.guard, state, memory_read, loads_cache):
+            for guard_fn, address_fn, value_fn, width in stores:
+                if guard_fn is not None:
+                    if not guard_fn(state, memory_read, loads_cache):
                         continue
-                address = evaluate(store.address, state, memory_read, loads_cache)
-                value = evaluate(store.value, state, memory_read, loads_cache)
-                memory_write(address, value, store.width)
-            keep_running = evaluate(body.continue_condition, state, memory_read,
-                                    loads_cache)
+                address = address_fn(state, memory_read, loads_cache)
+                value = value_fn(state, memory_read, loads_cache)
+                memory_write(address, value, width)
+            keep_running = continue_fn(state, memory_read, loads_cache)
             state.update(new_values)
             if not keep_running:
                 break
@@ -97,7 +123,7 @@ class WclaExecutionEngine:
             hw_cycles=self.implementation.cycles_for_iterations(iterations),
         )
         live_out = {register: state[register]
-                    for register in body.register_updates}
+                    for register, _ in register_updates}
         return live_out, invocation
 
 

@@ -9,7 +9,8 @@ dynamic partitioning module later reads back and patches.
 """
 
 from .assembler import Assembler, AssemblyError, assemble
-from .disassembler import disassemble, format_instruction, listing
+from .disassembler import (disassemble, disassemble_bram,
+                           format_instruction, listing)
 from .encoding import EncodingError, decode, decode_program, encode, encode_program
 from .instructions import (
     CONDITION_BY_STEM,
@@ -47,6 +48,7 @@ __all__ = [
     "AssemblyError",
     "assemble",
     "disassemble",
+    "disassemble_bram",
     "format_instruction",
     "listing",
     "EncodingError",

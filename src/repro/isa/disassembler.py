@@ -25,6 +25,19 @@ def disassemble(words: Iterable[int], base_address: int = 0) -> List[Instruction
     return [decode(word, address=base_address + 4 * i) for i, word in enumerate(words)]
 
 
+def disassemble_bram(bram, start: int = 0,
+                     count: Optional[int] = None) -> List[Instruction]:
+    """Disassemble instruction-BRAM contents in place.
+
+    Reads the word image through :meth:`BlockRAM.words
+    <repro.microblaze.memory.BlockRAM.words>` — a single bulk unpack of the
+    backing storage, the same path the dynamic partitioning module uses to
+    read the executing binary — and decodes it with addresses starting at
+    ``start``.
+    """
+    return disassemble(bram.words(start, count), base_address=start)
+
+
 def format_instruction(instr: Instruction, labels: Optional[Dict[int, str]] = None) -> str:
     """Render one instruction as ``address:  mnemonic operands``.
 

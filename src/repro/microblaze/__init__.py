@@ -12,6 +12,7 @@ how the warp processor's profiler is driven.
 
 from .config import MINIMAL_CONFIG, PAPER_CONFIG, MicroBlazeConfig, PipelineTimings
 from .cpu import (
+    DEFAULT_ENGINE,
     CPUError,
     ExecutionLimitExceeded,
     ExecutionStats,
@@ -22,6 +23,7 @@ from .memory import BlockRAM, LocalMemoryBus, MemoryError_
 from .opb import OPB_BASE_ADDRESS, BusError, OnChipPeripheralBus, SimplePeripheral
 from .system import ExecutionResult, MicroBlazeSystem, run_program
 from .trace import (
+    BranchObserver,
     BranchTraceRecorder,
     ClassProfile,
     InstructionTraceRecorder,
@@ -30,6 +32,8 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "BranchObserver",
     "MINIMAL_CONFIG",
     "PAPER_CONFIG",
     "MicroBlazeConfig",

@@ -21,6 +21,23 @@ The timing model charges each instruction a latency drawn from
 :class:`~repro.microblaze.config.PipelineTimings`; it does not model
 structural hazards beyond those latencies, which matches the level of
 detail the paper's own cycle estimates operate at.
+
+Two execution engines share this architectural model:
+
+* ``engine="interp"`` — the reference interpreter: fetch, dispatch on the
+  instruction class, execute, record.  It is the only path that can feed
+  full per-instruction :class:`~repro.microblaze.trace.TraceEvent` streams
+  to listeners, and it defines the semantics the threaded engine must
+  reproduce bit-exactly.
+* ``engine="threaded"`` (the default) — the threaded-code engine of
+  :mod:`repro.microblaze.engine`: instructions compile once into
+  specialized handler closures, straight-line runs into superblocks, and
+  ``run()`` executes whole blocks without per-instruction dispatch,
+  statistics-dictionary updates or trace-event allocation.  Listeners that
+  only need branch events (the on-chip profiler) subscribe through the
+  zero-allocation branch-hook protocol and keep working at full speed;
+  attaching a full-trace listener transparently falls back to the
+  interpreter.
 """
 
 from __future__ import annotations
@@ -35,6 +52,11 @@ from .config import MicroBlazeConfig
 from .memory import BlockRAM
 from .opb import OPB_BASE_ADDRESS, OnChipPeripheralBus
 from .trace import TraceEvent, TraceListener
+
+#: Engine used when a CPU (or system) is built without an explicit choice.
+DEFAULT_ENGINE = "threaded"
+
+_VALID_ENGINES = ("threaded", "interp")
 
 
 class CPUError(Exception):
@@ -109,11 +131,17 @@ class MicroBlazeCPU:
         instr_bram: BlockRAM,
         data_bram: BlockRAM,
         opb: Optional[OnChipPeripheralBus] = None,
+        engine: Optional[str] = None,
     ):
+        from .engine import NUM_COUNTERS, BlockCompiler
+
         self.config = config
         self.instr_bram = instr_bram
         self.data_bram = data_bram
         self.opb = opb
+        #: Register file.  The list identity is stable for the CPU's whole
+        #: lifetime (reset mutates in place) because the threaded engine's
+        #: compiled handlers bind it once.
         self.registers: List[int] = [0] * NUM_REGISTERS
         self.pc = 0
         self.halted = False
@@ -121,18 +149,46 @@ class MicroBlazeCPU:
         self.stats = ExecutionStats()
         self._imm_latch: Optional[int] = None
         self._listeners: List[TraceListener] = []
+        self._branch_hooks: List = []
         self._decoded: Dict[int, Instruction] = {}
+        engine = DEFAULT_ENGINE if engine is None else engine
+        if engine not in _VALID_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"choose one of {_VALID_ENGINES}")
+        self.engine = engine
+        #: Scalar statistics counters (threaded-engine hot path); identity
+        #: stable like ``registers``, folded into :attr:`stats` on sync.
+        self._counters: List[int] = [0] * NUM_COUNTERS
+        #: Superblock cache: entry address -> compiled block.
+        self._blocks: Dict[int, tuple] = {}
+        self._compiler = BlockCompiler(self)
 
     # ------------------------------------------------------------------ setup
     def add_listener(self, listener: TraceListener) -> None:
-        self._listeners.append(listener)
+        """Subscribe ``listener`` to the execution stream.
+
+        Listeners exposing an ``on_branch`` callable join the
+        zero-allocation branch-hook path: they receive
+        ``on_branch(pc, target, taken)`` for every executed branch (and an
+        optional ``on_run_end(instructions)`` at the end of each run) and
+        never cost a :class:`TraceEvent` allocation.  All other listeners
+        receive full per-instruction events, which forces ``run()`` onto
+        the interpreter.
+        """
+        if callable(getattr(listener, "on_branch", None)):
+            self._branch_hooks.append(listener)
+        else:
+            self._listeners.append(listener)
 
     def remove_listener(self, listener: TraceListener) -> None:
-        self._listeners.remove(listener)
+        if listener in self._branch_hooks:
+            self._branch_hooks.remove(listener)
+        else:
+            self._listeners.remove(listener)
 
     def reset(self, entry_point: int = 0, stack_pointer: Optional[int] = None) -> None:
         """Reset architectural state and point the PC at ``entry_point``."""
-        self.registers = [0] * NUM_REGISTERS
+        self.registers[:] = [0] * NUM_REGISTERS
         if stack_pointer is None:
             stack_pointer = self.data_bram.size - 4
         self.registers[1] = stack_pointer & WORD_MASK
@@ -140,7 +196,7 @@ class MicroBlazeCPU:
         self.halted = False
         self.stats = ExecutionStats()
         self._imm_latch = None
-        self._decoded.clear()
+        self._counters[:] = [0] * len(self._counters)
 
     # -------------------------------------------------------------- registers
     def read_register(self, index: int) -> int:
@@ -154,9 +210,12 @@ class MicroBlazeCPU:
     def fetch(self, address: int) -> Instruction:
         """Fetch and decode the instruction at byte ``address``.
 
-        Decoded instructions are cached; the cache is invalidated explicitly
-        by :meth:`invalidate_decode_cache` when the dynamic partitioning
-        module patches the binary.
+        Decoded instructions (and the superblocks compiled from them) are
+        cached across runs; the caches are invalidated explicitly by
+        :meth:`invalidate_decode_cache` when the dynamic partitioning
+        module patches the binary, and by :meth:`MicroBlazeSystem.load
+        <repro.microblaze.system.MicroBlazeSystem.load>` when a new image
+        is written to the instruction BRAM.
         """
         cached = self._decoded.get(address)
         if cached is not None:
@@ -166,13 +225,53 @@ class MicroBlazeCPU:
         self._decoded[address] = instr
         return instr
 
-    def invalidate_decode_cache(self) -> None:
-        self._decoded.clear()
+    def invalidate_decode_cache(self, address: Optional[int] = None) -> None:
+        """Drop cached decodes and superblocks.
+
+        With ``address=None`` everything is dropped.  With a byte address —
+        the granularity at which the dynamic partitioning module patches
+        single words — only the decode entry for that address and the
+        superblocks whose compiled range covers it are dropped, so an
+        executing application keeps the translations for untouched code.
+        """
+        if address is None:
+            self._decoded.clear()
+            self._blocks.clear()
+            return
+        self._decoded.pop(address, None)
+        stale = [entry for entry, block in self._blocks.items()
+                 if block[4] <= address <= block[5]]
+        for entry in stale:
+            del self._blocks[entry]
 
     # -------------------------------------------------------------- execution
     def run(self, max_instructions: int = 50_000_000,
             max_cycles: Optional[int] = None) -> ExecutionStats:
         """Run until the program halts or a budget is exceeded."""
+        start_instructions = self.stats.instructions
+        use_threaded = (
+            self.engine == "threaded"
+            and not self._listeners
+            and max_cycles is None
+            and self.halt_address is None
+        )
+        try:
+            if use_threaded:
+                self._run_threaded(max_instructions)
+            else:
+                self._run_interpreted(max_instructions, max_cycles)
+        finally:
+            executed = self.stats.instructions - start_instructions
+            for hook in self._branch_hooks:
+                on_run_end = getattr(hook, "on_run_end", None)
+                if callable(on_run_end):
+                    on_run_end(executed)
+        self.stats.halted = True
+        return self.stats
+
+    def _run_interpreted(self, max_instructions: int,
+                         max_cycles: Optional[int]) -> None:
+        """The reference fetch/dispatch/execute loop."""
         while not self.halted:
             if self.stats.instructions >= max_instructions:
                 raise ExecutionLimitExceeded(
@@ -183,8 +282,76 @@ class MicroBlazeCPU:
                     f"exceeded {max_cycles} cycles at pc={self.pc:#x}"
                 )
             self.step()
-        self.stats.halted = True
-        return self.stats
+
+    def _run_threaded(self, max_instructions: int) -> None:
+        """Superblock dispatch loop of the threaded-code engine."""
+        # A pending imm latch (left by manual step() calls) is consumed by
+        # the interpreter so that block entry always starts latch-free,
+        # which is what the statically fused translations assume.
+        while self._imm_latch is not None and not self.halted:
+            if self.stats.instructions >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}"
+                )
+            self.step()
+        counters = self._counters
+        blocks = self._blocks
+        compile_block = self._compiler.compile_block
+        executed = self.stats.instructions
+        near_budget = False
+        pc = self.pc
+        try:
+            while not self.halted:
+                block = blocks.get(pc)
+                if block is None:
+                    block = compile_block(pc)
+                n = block[0]
+                if executed + n > max_instructions:
+                    near_budget = True
+                    break
+                for index, delta in block[1]:
+                    counters[index] += delta
+                for handler in block[2]:
+                    handler()
+                pc = block[3]()
+                executed += n
+        finally:
+            self.pc = pc
+            self._sync_counters()
+        if near_budget:
+            # Within one block of the budget: finish (or fault) on the
+            # interpreter, whose per-instruction checks raise at exactly
+            # the same point the reference engine does.
+            self._run_interpreted(max_instructions, None)
+
+    def _sync_counters(self) -> None:
+        """Fold the scalar counter array into :attr:`stats` and zero it."""
+        from .engine import (CLASS_LIST, CNT_BRANCHES_NOT_TAKEN,
+                             CNT_BRANCHES_TAKEN, CNT_CLASS_COUNT,
+                             CNT_CLASS_CYCLES, CNT_CYCLES, CNT_INSTRUCTIONS,
+                             CNT_LOADS, CNT_OPB_READS, CNT_OPB_WRITES,
+                             CNT_STORES)
+
+        counters = self._counters
+        stats = self.stats
+        stats.cycles += counters[CNT_CYCLES]
+        stats.instructions += counters[CNT_INSTRUCTIONS]
+        stats.branches_taken += counters[CNT_BRANCHES_TAKEN]
+        stats.branches_not_taken += counters[CNT_BRANCHES_NOT_TAKEN]
+        stats.loads += counters[CNT_LOADS]
+        stats.stores += counters[CNT_STORES]
+        stats.opb_reads += counters[CNT_OPB_READS]
+        stats.opb_writes += counters[CNT_OPB_WRITES]
+        for index, klass in enumerate(CLASS_LIST):
+            count = counters[CNT_CLASS_COUNT + index]
+            if count:
+                stats.class_counts[klass] = \
+                    stats.class_counts.get(klass, 0) + count
+            cycles = counters[CNT_CLASS_CYCLES + index]
+            if cycles:
+                stats.class_cycles[klass] = \
+                    stats.class_cycles.get(klass, 0) + cycles
+        counters[:] = [0] * len(counters)
 
     def step(self) -> int:
         """Execute one instruction (plus its delay slot, if any).
@@ -331,6 +498,9 @@ class MicroBlazeCPU:
                                branch_taken=branch_taken, branch_target=branch_target)
             for listener in self._listeners:
                 listener.on_instruction(event)
+        if branch_taken is not None and self._branch_hooks:
+            for hook in self._branch_hooks:
+                hook.on_branch(pc, branch_target, branch_taken)
         return cycles
 
     def _execute_delay_slot(self, branch_pc: int) -> int:
@@ -368,10 +538,8 @@ class MicroBlazeCPU:
         if mnemonic == "muli":
             return (ra_val * imm) & WORD_MASK
         if mnemonic == "idiv":
-            divisor, dividend = to_signed(ra_val), to_signed(rb_val)
-            if divisor == 0:
-                return 0
-            return int(dividend / divisor) & WORD_MASK
+            from .engine import signed_division
+            return signed_division(to_signed(rb_val), to_signed(ra_val))
         if mnemonic == "idivu":
             if ra_val == 0:
                 return 0

@@ -15,8 +15,9 @@ so that contention between the processor and the WCLA can be studied.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 
 class MemoryError_(Exception):
@@ -95,10 +96,35 @@ class BlockRAM:
             )
         self.storage[base:base + len(image)] = image
 
-    def words(self) -> list:
-        """Return the BRAM contents as a list of little-endian 32-bit words."""
-        return [int.from_bytes(self.storage[i:i + 4], "little")
-                for i in range(0, self.size - self.size % 4, 4)]
+    def words(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Return BRAM contents as little-endian 32-bit words, one pass.
+
+        ``start`` is a word-aligned byte offset and ``count`` the number of
+        words (default: everything from ``start`` to the end).  The whole
+        range is unpacked in a single ``struct`` call instead of slicing
+        byte quadruples one by one; the disassembler and the dynamic
+        partitioning module's binary reads share this path.
+        """
+        if start % 4:
+            raise MemoryError_(f"{self.name}: misaligned word read at {start:#x}")
+        if count is None:
+            count = (self.size - start) // 4
+        if start < 0 or start + 4 * count > self.size:
+            raise MemoryError_(
+                f"{self.name}: word range {count}@{start:#x} outside 0..{self.size:#x}"
+            )
+        return list(struct.unpack_from(f"<{count}I", self.storage, start))
+
+    def store_words(self, address: int, words: List[int]) -> None:
+        """Write little-endian 32-bit ``words`` at byte ``address`` in one pass."""
+        if address % 4:
+            raise MemoryError_(f"{self.name}: misaligned word write at {address:#x}")
+        if address < 0 or address + 4 * len(words) > self.size:
+            raise MemoryError_(
+                f"{self.name}: word range {len(words)}@{address:#x} outside "
+                f"0..{self.size:#x}"
+            )
+        struct.pack_into(f"<{len(words)}I", self.storage, address, *words)
 
 
 @dataclass

@@ -83,12 +83,17 @@ class MicroBlazeSystem:
     peripherals:
         Peripherals to attach to the on-chip peripheral bus.  The warp
         processor attaches the WCLA here.
+    engine:
+        Execution engine for the CPU core: ``"threaded"`` (default, the
+        threaded-code engine) or ``"interp"`` (the reference interpreter).
+        Both are bit-exact; see :mod:`repro.microblaze.engine`.
     """
 
     def __init__(
         self,
         config: MicroBlazeConfig = PAPER_CONFIG,
         peripherals: Sequence[Peripheral] = (),
+        engine: Optional[str] = None,
     ):
         self.config = config
         self.instr_bram = BlockRAM(config.instr_bram_kb * 1024, name="instr_bram")
@@ -98,7 +103,8 @@ class MicroBlazeSystem:
         self.opb = OnChipPeripheralBus()
         for peripheral in peripherals:
             self.opb.attach(peripheral)
-        self.cpu = MicroBlazeCPU(config, self.instr_bram, self.data_bram, self.opb)
+        self.cpu = MicroBlazeCPU(config, self.instr_bram, self.data_bram, self.opb,
+                                 engine=engine)
         self._loaded_program: Optional[Program] = None
 
     # ----------------------------------------------------------------- loading
@@ -107,10 +113,9 @@ class MicroBlazeSystem:
 
     def load(self, program: Program) -> None:
         """Load ``program`` into the instruction and data block RAMs."""
-        text_bytes = b"".join(word.to_bytes(4, "little") for word in program.text)
-        if len(text_bytes) > self.instr_bram.size:
+        if program.text_size > self.instr_bram.size:
             raise ValueError(
-                f"program text of {len(text_bytes)} bytes does not fit in the "
+                f"program text of {program.text_size} bytes does not fit in the "
                 f"{self.instr_bram.size}-byte instruction BRAM"
             )
         if program.data_size > self.data_bram.size:
@@ -121,7 +126,7 @@ class MicroBlazeSystem:
         # Clear memories so that back-to-back runs are independent.
         self.instr_bram.storage[:] = b"\x00" * self.instr_bram.size
         self.data_bram.storage[:] = b"\x00" * self.data_bram.size
-        self.instr_bram.load_image(text_bytes)
+        self.instr_bram.store_words(0, program.text)
         self.data_bram.load_image(bytes(program.data))
         self.cpu.invalidate_decode_cache()
         self._loaded_program = program
@@ -169,7 +174,8 @@ def run_program(
     listeners: Sequence[TraceListener] = (),
     peripherals: Sequence[Peripheral] = (),
     max_instructions: int = 50_000_000,
+    engine: Optional[str] = None,
 ) -> ExecutionResult:
     """Convenience helper: build a system, run ``program``, return the result."""
-    system = MicroBlazeSystem(config=config, peripherals=peripherals)
+    system = MicroBlazeSystem(config=config, peripherals=peripherals, engine=engine)
     return system.run(program, listeners=listeners, max_instructions=max_instructions)

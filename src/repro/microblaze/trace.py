@@ -38,9 +38,40 @@ class TraceEvent:
 
 
 class TraceListener(Protocol):
-    """Anything that wants to observe the execution stream."""
+    """Anything that wants to observe the full execution stream.
+
+    Full-trace listeners receive one :class:`TraceEvent` per executed
+    instruction.  That allocation-per-instruction is exactly what the
+    threaded-code engine removes from the hot path, so attaching a
+    full-trace listener makes the CPU fall back to the reference
+    interpreter for the duration of the run.  Observers that only need
+    branches — the on-chip profiler snoops nothing else — should implement
+    :class:`BranchObserver` instead and stay on the fast path.
+    """
 
     def on_instruction(self, event: TraceEvent) -> None:
+        ...
+
+
+class BranchObserver(Protocol):
+    """Zero-allocation observer protocol for branch events.
+
+    The CPU recognises an observer exposing a callable ``on_branch`` and
+    routes it onto a scalar callback fed directly from the branch handlers
+    of the execution engine — no :class:`TraceEvent` is materialised.
+    ``on_branch(pc, target, taken)`` fires for every executed branch
+    (conditional, unconditional, call and return); ``target`` is ``None``
+    for a not-taken conditional branch, mirroring
+    :attr:`TraceEvent.branch_target`.  The optional ``on_run_end(n)``
+    callback reports the number of instructions executed by the finished
+    (or faulted) run, which is how the profiler keeps its
+    ``instructions_observed`` figure without per-instruction traffic.
+    """
+
+    def on_branch(self, pc: int, target: Optional[int], taken: bool) -> None:
+        ...
+
+    def on_run_end(self, instructions: int) -> None:
         ...
 
 

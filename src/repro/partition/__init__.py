@@ -9,6 +9,7 @@ from .binary_patch import (
     PatchError,
     SCRATCH_REGISTERS,
     apply_patch,
+    patch_live_words,
     undo_patch,
 )
 from .dpm import DpmCostModel, DynamicPartitioningModule, PartitioningOutcome
@@ -18,6 +19,7 @@ __all__ = [
     "PatchError",
     "SCRATCH_REGISTERS",
     "apply_patch",
+    "patch_live_words",
     "undo_patch",
     "DpmCostModel",
     "DynamicPartitioningModule",

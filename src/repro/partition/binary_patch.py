@@ -34,6 +34,9 @@ from ..fabric.hw_exec import WclaPeripheral
 #: not need to restore them.
 SCRATCH_REGISTERS = (17, 18)
 
+#: Encoded canonical NOP (``or r0, r0, r0``), used to blank undone stubs.
+_NOP_WORD = encode(Instruction("or", rd=0, ra=0, rb=0))
+
 
 class PatchError(Exception):
     """Raised when a kernel cannot be safely patched into the binary."""
@@ -97,11 +100,21 @@ def _stub_instructions(kernel: HardwareKernel, wcla_base: int,
 
 
 def apply_patch(program: Program, kernel: HardwareKernel,
-                wcla_base: int = OPB_BASE_ADDRESS) -> BinaryPatch:
+                wcla_base: int = OPB_BASE_ADDRESS,
+                system=None) -> BinaryPatch:
     """Patch ``program`` in place so the kernel's loop runs on the WCLA.
 
     Returns the :class:`BinaryPatch` record needed to undo the change and to
     account for the per-invocation communication overhead.
+
+    When ``system`` (a running
+    :class:`~repro.microblaze.system.MicroBlazeSystem`) is given, the patch
+    is additionally applied to the *live* instruction BRAM through the
+    DPM's second port and the CPU's decode cache and superblock
+    translations covering the touched addresses are invalidated — the
+    mid-execution binary update of Section 3.  Without invalidation the
+    threaded-code engine (and the decode cache before it) would keep
+    executing the stale translation of the loop header.
     """
     region = kernel.region
     header_address = region.start_address
@@ -120,6 +133,11 @@ def apply_patch(program: Program, kernel: HardwareKernel,
     branch_to_stub = Instruction("brai", imm=stub_address)
     program.patch_word(header_address, encode(branch_to_stub))
 
+    if system is not None:
+        patch_live_words(system, stub_address, stub_words)
+        patch_live_words(system, header_address,
+                         [program.word_at(header_address)])
+
     return BinaryPatch(
         header_address=header_address,
         original_word=original_word,
@@ -132,17 +150,40 @@ def apply_patch(program: Program, kernel: HardwareKernel,
     )
 
 
-def undo_patch(program: Program, patch: BinaryPatch) -> None:
-    """Restore the program to its pre-patch state (bit exact)."""
+def undo_patch(program: Program, patch: BinaryPatch, system=None) -> None:
+    """Restore the program to its pre-patch state (bit exact).
+
+    As with :func:`apply_patch`, passing ``system`` also reverts the live
+    instruction BRAM and invalidates the stale translations.
+    """
     program.patch_word(patch.header_address, patch.original_word)
     expected_length = patch.stub_address // 4 + len(patch.stub_words)
     if len(program.text) < expected_length:
         raise PatchError("program text shorter than expected while undoing patch")
     if 4 * len(program.text) == patch.stub_address + 4 * len(patch.stub_words):
         del program.text[patch.stub_address // 4:]
+        stub_restore = [_NOP_WORD] * len(patch.stub_words)
     else:
         # Another patch was applied after this one; blank the stub instead.
+        stub_restore = [_NOP_WORD] * len(patch.stub_words)
         for index in range(len(patch.stub_words)):
-            program.text[patch.stub_address // 4 + index] = encode(
-                Instruction("or", rd=0, ra=0, rb=0)
-            )
+            program.text[patch.stub_address // 4 + index] = _NOP_WORD
+    if system is not None:
+        patch_live_words(system, patch.header_address, [patch.original_word])
+        patch_live_words(system, patch.stub_address, stub_restore)
+
+
+def patch_live_words(system, address: int, words: Sequence[int]) -> None:
+    """Write ``words`` into a running system's instruction BRAM at ``address``.
+
+    This is the primitive behind mid-execution binary updates: the words go
+    in through the BRAM's second port (the port the dynamic partitioning
+    module owns in Figure 2), one bulk pass, and the CPU's decode cache and
+    superblock cache are invalidated for exactly the touched addresses so
+    the next fetch re-translates the patched code.
+    """
+    bram = system.instr_bram
+    bram.store_words(address, list(words))
+    bram.port_b_accesses += len(words)
+    for offset in range(0, 4 * len(words), 4):
+        system.cpu.invalidate_decode_cache(address + offset)

@@ -50,7 +50,17 @@ class CriticalRegion:
 
 
 class OnChipProfiler:
-    """Trace listener implementing the warp processor's profiler."""
+    """Branch observer implementing the warp processor's profiler.
+
+    The hardware profiler snoops the instruction-side local memory bus and
+    reacts only to taken backward branches, so the simulated profiler
+    subscribes through the CPU's zero-allocation branch-hook protocol
+    (:class:`~repro.microblaze.trace.BranchObserver`): branch handlers of
+    the execution engine call :meth:`on_branch` with three scalars and no
+    :class:`~repro.microblaze.trace.TraceEvent` is ever allocated for it.
+    :meth:`on_instruction` remains available for feeding the profiler from
+    a pre-recorded event trace.
+    """
 
     def __init__(self, cache: Optional[BranchFrequencyCache] = None):
         self.cache = cache if cache is not None else BranchFrequencyCache()
@@ -58,8 +68,21 @@ class OnChipProfiler:
         self.backward_taken = 0
         self.instructions_observed = 0
 
+    # ---------------------------------------------------------- branch observer
+    def on_branch(self, pc: int, target: Optional[int], taken: bool) -> None:
+        """One branch as observed on the instruction bus (scalar fast path)."""
+        self.total_branches += 1
+        if taken and target is not None and target < pc:
+            self.backward_taken += 1
+            self.cache.record(pc, target)
+
+    def on_run_end(self, instructions: int) -> None:
+        """Called by the CPU with the instruction count of a finished run."""
+        self.instructions_observed += instructions
+
     # ---------------------------------------------------------- trace listener
     def on_instruction(self, event: TraceEvent) -> None:
+        """Feed the profiler from a recorded full-instruction trace."""
         self.instructions_observed += 1
         if not event.is_branch:
             return

@@ -101,7 +101,8 @@ class MultiProcessorWarpSystem:
     def __init__(self, num_cores: int,
                  config: MicroBlazeConfig = PAPER_CONFIG,
                  wcla: WclaParameters = DEFAULT_WCLA,
-                 num_dpm_modules: int = 1):
+                 num_dpm_modules: int = 1,
+                 engine: Optional[str] = None):
         if num_cores <= 0:
             raise ValueError("a warp system needs at least one core")
         if num_dpm_modules <= 0:
@@ -110,6 +111,7 @@ class MultiProcessorWarpSystem:
         self.config = config
         self.wcla = wcla
         self.num_dpm_modules = num_dpm_modules
+        self.engine = engine
 
     def run(self, programs: Sequence[Program]) -> MultiProcessorResult:
         """Run one program per core through the warp flow.
@@ -125,7 +127,8 @@ class MultiProcessorWarpSystem:
         dpm_free_at = [0.0] * self.num_dpm_modules
 
         for index, program in enumerate(programs):
-            processor = WarpProcessor(config=self.config, wcla=self.wcla)
+            processor = WarpProcessor(config=self.config, wcla=self.wcla,
+                                      engine=self.engine)
             result = processor.run(program)
             per_core.append(result)
             if result.partitioning.success:

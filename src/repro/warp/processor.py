@@ -119,22 +119,29 @@ class WarpProcessor:
         wcla: WclaParameters = DEFAULT_WCLA,
         wcla_base_address: int = OPB_BASE_ADDRESS,
         profiler_cache_entries: int = 16,
+        engine: Optional[str] = None,
     ):
         self.config = config
         self.wcla = wcla
         self.wcla_base_address = wcla_base_address
         self.profiler_cache_entries = profiler_cache_entries
+        self.engine = engine
         self.dpm = DynamicPartitioningModule(wcla=wcla,
                                              wcla_base_address=wcla_base_address)
 
     # ----------------------------------------------------------------- phases
     def profile(self, program: Program,
                 max_instructions: int = 50_000_000) -> tuple[ExecutionResult, OnChipProfiler]:
-        """Phase 1: run the program on the MicroBlaze alone while profiling."""
+        """Phase 1: run the program on the MicroBlaze alone while profiling.
+
+        The profiler subscribes through the branch-hook protocol, so this
+        run stays on the threaded-code engine: branch handlers feed the
+        profiler scalars directly and no trace events are allocated.
+        """
         profiler = OnChipProfiler(
             BranchFrequencyCache(num_entries=self.profiler_cache_entries)
         )
-        system = MicroBlazeSystem(config=self.config)
+        system = MicroBlazeSystem(config=self.config, engine=self.engine)
         result = system.run(program, listeners=[profiler],
                             max_instructions=max_instructions)
         return result, profiler
@@ -156,7 +163,7 @@ class WarpProcessor:
         if not outcome.success:
             return result
 
-        system = MicroBlazeSystem(config=self.config)
+        system = MicroBlazeSystem(config=self.config, engine=self.engine)
         system.load(patched)
         peripheral = WclaPeripheral(self.wcla_base_address, outcome.implementation,
                                     system.data_bram)

@@ -1,0 +1,395 @@
+"""Tests for the threaded-code execution engine.
+
+Three concerns live here:
+
+* **Differential equivalence** — every suite benchmark runs on both the
+  reference interpreter (``engine="interp"``) and the threaded-code engine
+  (``engine="threaded"``) and must produce identical ``ExecutionStats``,
+  register files, data-BRAM images and profiler rankings.
+* **Cache invalidation** — the decode cache and the superblock cache must
+  drop stale translations when the dynamic partitioning module patches
+  the executing binary mid-run (the bug surface the threaded engine
+  enlarges: a stale superblock would keep executing the old loop header
+  long after the branch-to-stub was written).
+* **Semantics edges** — imm-prefix fusion, delay slots, execution budgets
+  and the exact integer ``idiv``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_suite, build_benchmark
+from repro.compiler import compile_source
+from repro.fabric.hw_exec import WclaPeripheral
+from repro.isa import assemble
+from repro.microblaze import (
+    ExecutionLimitExceeded,
+    MicroBlazeSystem,
+    PAPER_CONFIG,
+    MicroBlazeConfig,
+    run_program,
+)
+from repro.microblaze.engine import signed_division
+from repro.partition.binary_patch import apply_patch, patch_live_words, undo_patch
+from repro.profiler.branch_cache import BranchFrequencyCache
+from repro.profiler.profiler import OnChipProfiler
+from repro.warp import WarpProcessor
+
+DIVIDER_CONFIG = MicroBlazeConfig(use_barrel_shifter=True, use_multiplier=True,
+                                  use_divider=True)
+
+
+def run_both(program, config=PAPER_CONFIG, **kwargs):
+    interp = run_program(program, config, engine="interp", **kwargs)
+    threaded = run_program(program, config, engine="threaded", **kwargs)
+    return interp, threaded
+
+
+def assert_equivalent(interp, threaded):
+    assert threaded.stats == interp.stats
+    assert threaded.return_value == interp.return_value
+    assert threaded.data_image == interp.data_image
+
+
+# ---------------------------------------------------------------- differential
+class TestDifferential:
+    """Seed interpreter vs threaded engine, bit for bit."""
+
+    @pytest.mark.parametrize("name",
+                             [b.name for b in build_suite(small=True)])
+    def test_suite_benchmark_bit_exact(self, name):
+        benchmark = build_benchmark(name, small=True)
+        program = compile_source(benchmark.source, name=name,
+                                 config=PAPER_CONFIG).program
+
+        systems = {}
+        results = {}
+        for engine in ("interp", "threaded"):
+            system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+            results[engine] = system.run(program)
+            systems[engine] = system
+
+        assert_equivalent(results["interp"], results["threaded"])
+        # Register files must match exactly, r0 through r31.
+        assert systems["threaded"].cpu.registers == systems["interp"].cpu.registers
+        # Full data-BRAM images (not just the returned prefix).
+        assert bytes(systems["threaded"].data_bram.storage) \
+            == bytes(systems["interp"].data_bram.storage)
+
+    @pytest.mark.parametrize("name",
+                             [b.name for b in build_suite(small=True)])
+    def test_profiler_rankings_identical(self, name):
+        benchmark = build_benchmark(name, small=True)
+        program = compile_source(benchmark.source, name=name,
+                                 config=PAPER_CONFIG).program
+        profilers = {}
+        for engine in ("interp", "threaded"):
+            profiler = OnChipProfiler(BranchFrequencyCache(num_entries=16))
+            run_program(program, PAPER_CONFIG, listeners=[profiler],
+                        engine=engine)
+            profilers[engine] = profiler
+        a, b = profilers["interp"], profilers["threaded"]
+        assert a.critical_regions() == b.critical_regions()
+        assert (a.total_branches, a.backward_taken, a.instructions_observed) \
+            == (b.total_branches, b.backward_taken, b.instructions_observed)
+
+    def test_warp_flow_cycle_exact(self):
+        benchmark = build_benchmark("brev", small=True)
+        program = compile_source(benchmark.source, name="brev",
+                                 config=PAPER_CONFIG).program
+        results = {}
+        for engine in ("interp", "threaded"):
+            results[engine] = WarpProcessor(config=PAPER_CONFIG,
+                                            engine=engine).run(program.copy())
+        a, b = results["interp"], results["threaded"]
+        assert a.software_result.stats == b.software_result.stats
+        assert a.warp_mb_result.stats == b.warp_mb_result.stats
+        assert a.hw_cycles == b.hw_cycles
+        assert a.speedup == b.speedup
+
+
+# ------------------------------------------------------------- semantics edges
+class TestSemanticsEdges:
+    def run_asm_both(self, source, config=PAPER_CONFIG):
+        program = assemble(source)
+        return run_both(program, config)
+
+    def test_imm_prefix_fusion(self):
+        interp, threaded = self.run_asm_both("""
+            li r5, 0x12345678
+            li r6, 0xFFFF0000
+            add r3, r5, r6
+            bri 0
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == (0x12345678 + 0xFFFF0000) & 0xFFFFFFFF
+
+    def test_imm_prefixed_memory_access(self):
+        interp, threaded = self.run_asm_both("""
+            addi r5, r0, 77
+            imm 0
+            swi r5, r0, 512
+            imm 0
+            lwi r3, r0, 512
+            bri 0
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 77
+
+    def test_delay_slot_cycle_accounting(self):
+        # The interpreter charges a delay slot's cycles both to the slot's
+        # class and to the branch; the threaded engine must reproduce that.
+        interp, threaded = self.run_asm_both("""
+            .entry main
+        sub:
+            add r3, r5, r5
+            rtsd r15, 8
+            addi r3, r3, 1      # delay slot executes after the return issues
+        main:
+            addi r5, r0, 4
+            brlid r15, sub
+            addi r5, r5, 1      # delay slot of the call
+            bri 0
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 11  # (4 + 1) * 2 + 1
+
+    def test_conditional_delay_slot_runs_when_not_taken(self):
+        interp, threaded = self.run_asm_both("""
+            addi r5, r0, 0
+            beqid r5, target
+            addi r3, r3, 5      # slot runs whether or not the branch is taken
+        target:
+            bneid r5, elsewhere
+            addi r3, r3, 7      # not taken: slot still runs
+            bri 0
+        elsewhere:
+            bri 0
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 12
+
+    def test_imm_latch_survives_into_delay_slot(self):
+        # The interpreter clears the imm latch only once the whole branch —
+        # delay slot included — has executed, so a prefix before a delayed
+        # branch fuses into the slot's immediate too.  The threaded engine
+        # must reproduce that (it compiles the slot with the branch's
+        # pending prefix).
+        interp, threaded = self.run_asm_both("""
+            addi r5, r0, 0
+            addi r6, r0, 8      # register-form branch offset: pc+8
+            imm 1
+            beqd r5, r6         # taken; the latch stays set for the slot
+            addi r4, r0, 1      # slot sees the latch: r4 = 0x10001
+            add r3, r4, r0      # branch target (pc + 8)
+            bri 0
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 0x10001
+
+    def test_fetch_past_bram_end_faults_after_block_executes(self):
+        # Straight-line code running off the end of the instruction BRAM:
+        # the interpreter executes the block's instructions (including the
+        # store) before the out-of-range fetch faults; the threaded engine
+        # must not fault earlier, at block-compile time.
+        from repro.microblaze import MemoryError_
+
+        program = assemble("""
+            addi r5, r0, 7
+            swi r5, r0, 0
+        """)
+        images = {}
+        for engine in ("interp", "threaded"):
+            config = MicroBlazeConfig(instr_bram_kb=1, data_bram_kb=1)
+            system = MicroBlazeSystem(config=config, engine=engine)
+            # Place the two instructions at the very end of the BRAM.
+            base = system.instr_bram.size - 4 * len(program.text)
+            system.instr_bram.store_words(base, program.text)
+            system._loaded_program = program
+            system.cpu.reset(entry_point=base)
+            with pytest.raises(MemoryError_):
+                system.cpu.run()
+            images[engine] = (bytes(system.data_bram.storage),
+                             system.cpu.stats)
+        assert images["threaded"] == images["interp"]
+        assert images["threaded"][0][0] == 7  # the store did execute
+
+    def test_register_indirect_branch_halt(self):
+        # A register-form branch to its own address is the halt idiom too,
+        # and the threaded engine must detect it dynamically.
+        interp, threaded = self.run_asm_both("""
+            addi r3, r0, 9
+            addi r5, r0, 0
+            br r5               # target == pc: dynamic self-branch halt
+        """)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 9
+
+    def test_execution_budget_raises_at_same_instruction(self):
+        source = """
+            addi r5, r0, 100
+        loop:
+            addi r5, r5, -1
+            bnei r5, loop
+            bri 0
+        """
+        program = assemble(source)
+        for budget in (1, 2, 3, 50, 101):
+            stats = {}
+            for engine in ("interp", "threaded"):
+                system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+                system.load(program)
+                system.cpu.reset(entry_point=program.entry_point)
+                with pytest.raises(ExecutionLimitExceeded):
+                    system.cpu.run(max_instructions=budget)
+                stats[engine] = system.cpu.stats
+            assert stats["threaded"] == stats["interp"]
+
+    def test_idiv_exact_integer_semantics(self):
+        # Truncation toward zero, zero divisor, and INT_MIN / -1 overflow.
+        assert signed_division(7, 2) == 3
+        assert signed_division(-7, 2) == (-3) & 0xFFFFFFFF
+        assert signed_division(7, -2) == (-3) & 0xFFFFFFFF
+        assert signed_division(-7, -2) == 3
+        assert signed_division(123, 0) == 0
+        assert signed_division(-0x8000_0000, -1) == 0x8000_0000
+        assert signed_division(0x7FFF_FFFF, 1) == 0x7FFF_FFFF
+
+    def test_idiv_instruction_differential(self):
+        interp, threaded = self.run_asm_both("""
+            li r5, -2147483648
+            addi r6, r0, -1
+            idiv r3, r6, r5     # rd = rb / ra = INT_MIN / -1
+            bri 0
+        """, config=DIVIDER_CONFIG)
+        assert_equivalent(interp, threaded)
+        assert threaded.return_value == 0x8000_0000
+
+
+# ------------------------------------------------------------ cache invalidation
+class TestCacheInvalidation:
+    LOOP = """
+        addi r5, r0, 10
+        addi r3, r0, 0
+    loop:
+        addi r3, r3, 1
+        addi r5, r5, -1
+        bnei r5, loop
+        bri 0
+    """
+
+    def _warm_system(self, engine):
+        """Load the loop and stop it mid-run with warm translation caches."""
+        program = assemble(self.LOOP)
+        system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+        system.load(program)
+        system.cpu.reset(entry_point=program.entry_point)
+        with pytest.raises(ExecutionLimitExceeded):
+            system.cpu.run(max_instructions=8)  # a couple of iterations in
+        return system, program
+
+    @pytest.mark.parametrize("engine", ["interp", "threaded"])
+    def test_mid_run_word_patch_takes_effect(self, engine):
+        system, program = self._warm_system(engine)
+        if engine == "threaded":
+            assert system.cpu._blocks, "superblocks should be warm"
+        # Patch the loop body: increment by 16 instead of 1.
+        patched = assemble(self.LOOP.replace("addi r3, r3, 1",
+                                             "addi r3, r3, 16"))
+        address = 8  # byte address of the first loop-body instruction
+        patch_live_words(system, address, [patched.text[address // 4]])
+        stats = system.cpu.run()
+        # Iterations executed after the patch add 16 each.
+        executed_before = 2  # two increments before the 8-instruction budget
+        expected = executed_before * 1 + (10 - executed_before) * 16
+        assert system.cpu.read_register(3) == expected
+
+    @pytest.mark.parametrize("engine", ["interp", "threaded"])
+    def test_stale_translation_without_invalidation(self, engine):
+        # Writing the BRAM behind the caches' back is the documented bug
+        # surface: both the decode cache and the superblock cache keep
+        # serving the old translation.  This pins the contract that makes
+        # explicit invalidation necessary.
+        system, program = self._warm_system(engine)
+        patched = assemble(self.LOOP.replace("addi r3, r3, 1",
+                                             "addi r3, r3, 16"))
+        system.instr_bram.store_words(8, [patched.text[2]])  # no invalidate
+        system.cpu.run()
+        assert system.cpu.read_register(3) == 10  # stale +1 per iteration
+
+    def test_selective_invalidation_drops_only_covering_blocks(self):
+        system, program = self._warm_system("threaded")
+        cpu = system.cpu
+        blocks_before = dict(cpu._blocks)
+        assert blocks_before
+        # Invalidate an address inside the loop body: every block whose
+        # compiled range covers it must go; others must survive.
+        cpu.invalidate_decode_cache(8)
+        for entry, block in blocks_before.items():
+            if block[4] <= 8 <= block[5]:
+                assert entry not in cpu._blocks
+            else:
+                assert entry in cpu._blocks
+        assert 8 not in cpu._decoded
+
+    @pytest.mark.parametrize("engine", ["interp", "threaded"])
+    def test_mid_run_dpm_patch_and_superblock_invalidation(self, engine):
+        """The full Section 3 story, mid-flight: profile, partition, then
+        patch the *executing* binary and let the run finish on the WCLA."""
+        benchmark = build_benchmark("canrdr", small=True)
+        program = compile_source(benchmark.source, name="canrdr",
+                                 config=PAPER_CONFIG).program
+        warp = WarpProcessor(config=PAPER_CONFIG, engine=engine)
+        software, profiler = warp.profile(program)
+        outcome = warp.dpm.partition(program.copy(),
+                                     profiler.most_critical_region())
+        assert outcome.success
+
+        live = program.copy()
+        system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+        system.load(live)
+        peripheral = WclaPeripheral(warp.wcla_base_address,
+                                    outcome.implementation, system.data_bram)
+        system.attach_peripheral(peripheral)
+        cpu = system.cpu
+        cpu.reset(entry_point=live.entry_point)
+        with pytest.raises(ExecutionLimitExceeded):
+            cpu.run(max_instructions=software.instructions // 2)
+
+        apply_patch(live, outcome.kernel, wcla_base=warp.wcla_base_address,
+                    system=system)
+        stats = cpu.run()
+        # The patched binary must ship the remaining loop work to hardware
+        # and still produce the software run's checksum.
+        assert cpu.read_register(3) == software.return_value
+        assert peripheral.invocations >= 1
+        assert stats.instructions < software.instructions
+
+    def test_live_undo_restores_software_execution(self):
+        benchmark = build_benchmark("canrdr", small=True)
+        program = compile_source(benchmark.source, name="canrdr",
+                                 config=PAPER_CONFIG).program
+        warp = WarpProcessor(config=PAPER_CONFIG)
+        software, profiler = warp.profile(program)
+        outcome = warp.dpm.partition(program.copy(),
+                                     profiler.most_critical_region())
+        assert outcome.success
+
+        live = program.copy()
+        system = MicroBlazeSystem(config=PAPER_CONFIG)
+        system.load(live)
+        peripheral = WclaPeripheral(warp.wcla_base_address,
+                                    outcome.implementation, system.data_bram)
+        system.attach_peripheral(peripheral)
+        cpu = system.cpu
+        cpu.reset(entry_point=live.entry_point)
+
+        patch = apply_patch(live, outcome.kernel,
+                            wcla_base=warp.wcla_base_address, system=system)
+        undo_patch(live, patch, system=system)
+        assert live.text == program.text
+        stats = cpu.run()
+        assert cpu.read_register(3) == software.return_value
+        assert peripheral.invocations == 0
+        assert stats.instructions == software.instructions
