@@ -24,4 +24,9 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={
+        "console_scripts": [
+            "repro-warp=repro.service.cli:main",
+        ],
+    },
 )

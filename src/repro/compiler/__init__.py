@@ -11,7 +11,8 @@ output accordingly.
 """
 
 from .ast_nodes import TranslationUnit
-from .driver import (CompilationResult, compile_source,
+from .driver import (CompilationResult, clear_compile_cache,
+                     compile_cache_stats, compile_source,
                      compile_source_cached, compile_to_program)
 from .errors import CompileError, LexerError, ParseError, SemanticError
 from .ir import IRModule
@@ -26,6 +27,8 @@ __all__ = [
     "compile_source",
     "compile_source_cached",
     "compile_to_program",
+    "clear_compile_cache",
+    "compile_cache_stats",
     "CompileError",
     "LexerError",
     "ParseError",

@@ -14,9 +14,9 @@ configuration is a first-class input of :func:`compile_source`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional, Set
 
+from ..caching import lru_memoize
 from ..isa.assembler import assemble
 from ..isa.program import Program
 from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
@@ -81,7 +81,7 @@ def compile_to_program(
     return compile_source(source, name=name, config=config).program
 
 
-@lru_cache(maxsize=128)
+@lru_memoize(maxsize=128)
 def _compile_source_memo(source: str, name: str,
                          config: MicroBlazeConfig) -> CompilationResult:
     return compile_source(source, name=name, config=config)
@@ -94,12 +94,28 @@ def compile_source_cached(
 ) -> CompilationResult:
     """Memoized :func:`compile_source`.
 
-    The evaluation harness and the Section 2 configurability study compile
-    the same six benchmark sources over and over — once per processor
-    configuration per study per session.  Compilation is pure in
-    ``(source, name, config)`` (``MicroBlazeConfig`` is a frozen, hashable
-    dataclass), so the result is shared.  Callers must treat the returned
-    :class:`CompilationResult` as immutable: anything that patches the
-    program (the warp flow does) must operate on ``result.program.copy()``.
+    The evaluation harness, the Section 2 configurability study and the
+    warp service's workers compile the same six benchmark sources over and
+    over — once per processor configuration per study per session.
+    Compilation is pure in ``(source, name, config)``
+    (``MicroBlazeConfig`` is a frozen, hashable dataclass), so the result
+    is shared.  Callers must treat the returned :class:`CompilationResult`
+    as immutable: anything that patches the program (the warp flow does)
+    must operate on ``result.program.copy()``.
+
+    The backing store is the repo-wide :class:`repro.caching.BoundedLRU`
+    (the same primitive the service's CAD artifact cache uses); tests can
+    reset it through :func:`clear_compile_cache` and read its hit/miss
+    counters through ``compile_cache_stats()``.
     """
     return _compile_source_memo(source, name, config)
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoized compilation (used by cold-cache tests)."""
+    _compile_source_memo.cache.clear()
+
+
+def compile_cache_stats() -> dict:
+    """Hit/miss accounting of the shared compilation cache."""
+    return _compile_source_memo.cache.stats()

@@ -50,6 +50,44 @@ class OpKind(enum.Enum):
     CMP_SIGN_U = "cmp_sign_u"
 
 
+#: Depth bound of the human-readable expression renderer.  Expressions form
+#: a structurally *shared* DAG; naive recursive stringification expands every
+#: shared sub-term at every use, which is exponential on the deep graphs
+#: that e.g. software-shift lowering produces (a 32-iteration bit loop
+#: symbolically unrolled).  Every ``__str__`` below therefore delegates to
+#: the depth-limited :func:`format_node` — identical output for shallow
+#: expressions, ``...`` placeholders past the bound.
+STR_MAX_DEPTH = 8
+
+
+def format_node(node: "Node", max_depth: int = STR_MAX_DEPTH) -> str:
+    """Depth-bounded pretty printer for expression DAGs (always O(2^depth),
+    never exponential in the graph's *unshared* size)."""
+    if node is None:
+        return "?"
+    if isinstance(node, Const):
+        return f"{_signed(node.value)}"
+    if isinstance(node, LiveIn):
+        return f"r{node.register}_in"
+    if max_depth <= 0:
+        return "..."
+    inner = max_depth - 1
+    if isinstance(node, BinExpr):
+        return (f"({format_node(node.left, inner)} {node.op.value} "
+                f"{format_node(node.right, inner)})")
+    if isinstance(node, UnExpr):
+        return f"({node.op.value} {format_node(node.operand, inner)})"
+    if isinstance(node, Load):
+        return f"mem{8 * node.width}[{format_node(node.address, inner)}]"
+    if isinstance(node, Mux):
+        return (f"({format_node(node.condition, inner)} ? "
+                f"{format_node(node.if_true, inner)} : "
+                f"{format_node(node.if_false, inner)})")
+    if isinstance(node, Condition):
+        return f"({format_node(node.value, inner)} {node.relation} 0)"
+    return repr(node)
+
+
 @dataclass(frozen=True)
 class Node:
     """Base class of all DFG nodes; ``node_id`` is assigned by the builder."""
@@ -62,7 +100,7 @@ class Const(Node):
     value: int = 0
 
     def __str__(self) -> str:
-        return f"{_signed(self.value)}"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -72,7 +110,7 @@ class LiveIn(Node):
     register: int = 0
 
     def __str__(self) -> str:
-        return f"r{self.register}_in"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -82,7 +120,7 @@ class BinExpr(Node):
     right: "Node" = None
 
     def __str__(self) -> str:
-        return f"({self.left} {self.op.value} {self.right})"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -91,7 +129,7 @@ class UnExpr(Node):
     operand: "Node" = None
 
     def __str__(self) -> str:
-        return f"({self.op.value} {self.operand})"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -103,7 +141,7 @@ class Load(Node):
     sequence: int = 0  # program order of the access within the iteration
 
     def __str__(self) -> str:
-        return f"mem{8 * self.width}[{self.address}]"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -115,7 +153,7 @@ class Mux(Node):
     if_false: "Node" = None
 
     def __str__(self) -> str:
-        return f"({self.condition} ? {self.if_true} : {self.if_false})"
+        return format_node(self)
 
 
 @dataclass(frozen=True)
@@ -126,7 +164,7 @@ class Condition(Node):
     relation: str = "ne"  # eq, ne, lt, le, gt, ge against zero
 
     def __str__(self) -> str:
-        return f"({self.value} {self.relation} 0)"
+        return format_node(self)
 
 
 @dataclass

@@ -11,6 +11,7 @@ from .figures import (
     EvaluationSuite,
     PLATFORM_ORDER,
     evaluate_benchmark,
+    metric_rows,
     run_evaluation,
 )
 from .reporting import arithmetic_mean, format_percent, format_table, geometric_mean
@@ -27,6 +28,7 @@ __all__ = [
     "EvaluationSuite",
     "PLATFORM_ORDER",
     "evaluate_benchmark",
+    "metric_rows",
     "run_evaluation",
     "arithmetic_mean",
     "format_percent",

@@ -35,6 +35,26 @@ from .reporting import arithmetic_mean, format_table
 PLATFORM_ORDER = ("MicroBlaze", "ARM7", "ARM9", "ARM10", "ARM11", "MicroBlaze (Warp)")
 
 
+def metric_rows(entries: Sequence[tuple],
+                order: Sequence[str],
+                average_label: str = "Average:") -> List[List[object]]:
+    """Build figure-style table rows from per-item metric dictionaries.
+
+    ``entries`` is a sequence of ``(name, {column: value})`` pairs and
+    ``order`` the column sequence; the returned rows are one per entry
+    plus a trailing arithmetic-mean row — the row shape of Figures 6
+    and 7.  Shared by :class:`EvaluationSuite` and by the warp service's
+    suite-level reports (:mod:`repro.service.jobs`).
+    """
+    rows: List[List[object]] = [[name] + [values[key] for key in order]
+                                for name, values in entries]
+    averages: List[object] = [average_label]
+    for key in order:
+        averages.append(arithmetic_mean([values[key] for _, values in entries]))
+    rows.append(averages)
+    return rows
+
+
 @dataclass
 class BenchmarkEvaluation:
     """All Figure 6 / Figure 7 data points for one benchmark."""
@@ -79,17 +99,8 @@ class EvaluationSuite:
 
     # ---------------------------------------------------------------- figure 6
     def figure6_rows(self) -> List[List[object]]:
-        rows: List[List[object]] = []
-        for item in self.evaluations:
-            speedups = item.speedups()
-            rows.append([item.benchmark.name]
-                        + [speedups[name] for name in PLATFORM_ORDER])
-        averages = ["Average:"]
-        for name in PLATFORM_ORDER:
-            averages.append(arithmetic_mean([item.speedups()[name]
-                                             for item in self.evaluations]))
-        rows.append(averages)
-        return rows
+        return metric_rows([(item.benchmark.name, item.speedups())
+                            for item in self.evaluations], PLATFORM_ORDER)
 
     def figure6_table(self) -> str:
         headers = ["Benchmark"] + [f"{name} ({_clock_label(name)})"
@@ -98,17 +109,8 @@ class EvaluationSuite:
 
     # ---------------------------------------------------------------- figure 7
     def figure7_rows(self) -> List[List[object]]:
-        rows: List[List[object]] = []
-        for item in self.evaluations:
-            normalized = item.normalized_energy()
-            rows.append([item.benchmark.name]
-                        + [normalized[name] for name in PLATFORM_ORDER])
-        averages = ["Average:"]
-        for name in PLATFORM_ORDER:
-            averages.append(arithmetic_mean([item.normalized_energy()[name]
-                                             for item in self.evaluations]))
-        rows.append(averages)
-        return rows
+        return metric_rows([(item.benchmark.name, item.normalized_energy())
+                            for item in self.evaluations], PLATFORM_ORDER)
 
     def figure7_table(self) -> str:
         headers = ["Benchmark"] + [f"{name} ({_clock_label(name)})"

@@ -187,6 +187,26 @@ class WclaPeripheral:
     def tick(self, cycles: int) -> None:  # pragma: no cover - time handled analytically
         return None
 
+    # ------------------------------------------------------------ checkpointing
+    def snapshot_state(self) -> Dict:
+        """Device state for the system checkpoint (configuration — the
+        implementation and its compiled dataflow closures — is rebuilt by
+        whoever reconstructs the peripheral, not carried in the blob)."""
+        return {
+            "register_file": list(self.register_file),
+            "done": self.done,
+            "invocations": self.invocations,
+            "total_hw_cycles": self.total_hw_cycles,
+            "total_iterations": self.total_iterations,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.register_file[:] = state["register_file"]
+        self.done = state["done"]
+        self.invocations = state["invocations"]
+        self.total_hw_cycles = state["total_hw_cycles"]
+        self.total_iterations = state["total_iterations"]
+
     # ------------------------------------------------------------------- engine
     def _memory_read(self, address: int, width: int) -> int:
         return self.data_bram.load_port_b(address, width)

@@ -10,6 +10,17 @@ observed through trace listeners (:mod:`~repro.microblaze.trace`), which is
 how the warp processor's profiler is driven.
 """
 
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    capture_checkpoint,
+    describe_checkpoint,
+    fan_out,
+    restore_checkpoint,
+    run_slice,
+    spawn_from_checkpoint,
+)
 from .config import MINIMAL_CONFIG, PAPER_CONFIG, MicroBlazeConfig, PipelineTimings
 from .cpu import (
     DEFAULT_ENGINE,
@@ -32,6 +43,15 @@ from .trace import (
 )
 
 __all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "capture_checkpoint",
+    "describe_checkpoint",
+    "fan_out",
+    "restore_checkpoint",
+    "run_slice",
+    "spawn_from_checkpoint",
     "DEFAULT_ENGINE",
     "BranchObserver",
     "MINIMAL_CONFIG",

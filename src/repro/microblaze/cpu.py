@@ -109,6 +109,48 @@ class ExecutionStats:
         self.opb_reads += other.opb_reads
         self.opb_writes += other.opb_writes
 
+    # ------------------------------------------------------------ serialization
+    def to_plain(self) -> Dict:
+        """A plain-builtins view of the record (checkpoint serialization).
+
+        Instruction classes are stored by *name* so the checkpoint format
+        does not depend on enum identity or ordering.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "class_counts": {klass.name: count
+                             for klass, count in self.class_counts.items()},
+            "class_cycles": {klass.name: count
+                             for klass, count in self.class_cycles.items()},
+            "branches_taken": self.branches_taken,
+            "branches_not_taken": self.branches_not_taken,
+            "loads": self.loads,
+            "stores": self.stores,
+            "opb_reads": self.opb_reads,
+            "opb_writes": self.opb_writes,
+            "halted": self.halted,
+        }
+
+    @classmethod
+    def from_plain(cls, plain: Dict) -> "ExecutionStats":
+        """Inverse of :meth:`to_plain`."""
+        return cls(
+            cycles=plain["cycles"],
+            instructions=plain["instructions"],
+            class_counts={InstrClass[name]: count
+                          for name, count in plain["class_counts"].items()},
+            class_cycles={InstrClass[name]: count
+                          for name, count in plain["class_cycles"].items()},
+            branches_taken=plain["branches_taken"],
+            branches_not_taken=plain["branches_not_taken"],
+            loads=plain["loads"],
+            stores=plain["stores"],
+            opb_reads=plain["opb_reads"],
+            opb_writes=plain["opb_writes"],
+            halted=plain["halted"],
+        )
+
 
 class MicroBlazeCPU:
     """Executable model of one MicroBlaze core.
@@ -132,6 +174,7 @@ class MicroBlazeCPU:
         data_bram: BlockRAM,
         opb: Optional[OnChipPeripheralBus] = None,
         engine: Optional[str] = None,
+        precise_fault_stats: bool = False,
     ):
         from .engine import NUM_COUNTERS, BlockCompiler
 
@@ -139,6 +182,13 @@ class MicroBlazeCPU:
         self.instr_bram = instr_bram
         self.data_bram = data_bram
         self.opb = opb
+        #: Opt-in exact fault-path statistics for the threaded engine: the
+        #: block compiler emits per-handler statistics translations so a
+        #: runtime fault landing mid-superblock leaves stats/pc/imm-latch
+        #: in the interpreter's fault-point state.  No effect on the
+        #: interpreter engine or on fault-free runs (which are always
+        #: bit-exact).
+        self.precise_fault_stats = bool(precise_fault_stats)
         #: Register file.  The list identity is stable for the CPU's whole
         #: lifetime (reset mutates in place) because the threaded engine's
         #: compiled handlers bind it once.
@@ -244,6 +294,37 @@ class MicroBlazeCPU:
         for entry in stale:
             del self._blocks[entry]
 
+    # ------------------------------------------------------------- checkpointing
+    def snapshot_state(self) -> Dict:
+        """Architectural state as plain builtins (checkpoint/restore hook).
+
+        The scalar counter array is folded into :attr:`stats` first, so the
+        snapshot is engine-independent: a state captured on the threaded
+        engine restores bit-exactly onto the interpreter and vice versa.
+        Decode and superblock caches are *not* part of the architectural
+        state (they are rebuilt lazily after a restore).
+        """
+        self._sync_counters()
+        return {
+            "registers": list(self.registers),
+            "pc": self.pc,
+            "halted": self.halted,
+            "halt_address": self.halt_address,
+            "imm_latch": self._imm_latch,
+            "stats": self.stats.to_plain(),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a :meth:`snapshot_state` capture (checkpoint hook)."""
+        self.registers[:] = [value & WORD_MASK for value in state["registers"]]
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.halt_address = state["halt_address"]
+        self._imm_latch = state["imm_latch"]
+        self.stats = ExecutionStats.from_plain(state["stats"])
+        self._counters[:] = [0] * len(self._counters)
+        self.invalidate_decode_cache()
+
     # -------------------------------------------------------------- execution
     def run(self, max_instructions: int = 50_000_000,
             max_cycles: Optional[int] = None) -> ExecutionStats:
@@ -315,6 +396,13 @@ class MicroBlazeCPU:
                     handler()
                 pc = block[3]()
                 executed += n
+        except BaseException:
+            if self.precise_fault_stats:
+                # Precise-mode handlers maintain self.pc per instruction;
+                # keep the faulting instruction's pc instead of rewinding
+                # to the block entry.
+                pc = self.pc
+            raise
         finally:
             self.pc = pc
             self._sync_counters()

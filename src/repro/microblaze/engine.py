@@ -43,6 +43,17 @@ Compile-time faults (unknown opcodes, instructions needing an absent
 hardware unit, branches in delay slots) are compiled into *raiser*
 terminators so they fire at the same execution point, with the same
 exception type and message, as the interpreter.
+
+That divergence can be closed by opting in to **precise fault statistics**
+(``precise_fault_stats=True`` on the CPU / system / ``run_program``): the
+compiler then emits *per-handler* statistics translations — every
+instruction of a block self-records its counters exactly the way delay
+slots always have, maintains the program counter and the ``imm`` latch at
+instruction granularity, and the block carries no wholesale deltas.  A
+fault that lands mid-block therefore leaves ``ExecutionStats``, ``pc``
+and the latch in exactly the interpreter's fault-point state, at the cost
+of per-instruction counter updates on the hot path.  Fault-free behaviour
+is unchanged and remains bit-exact.
 """
 
 from __future__ import annotations
@@ -121,10 +132,14 @@ class BlockCompiler:
 
     def __init__(self, cpu) -> None:
         self.cpu = cpu
+        #: Precise-fault-statistics mode: every instruction self-records its
+        #: counters, program counter and imm latch (see the module docstring).
+        self.precise = bool(getattr(cpu, "precise_fault_stats", False))
 
     # ------------------------------------------------------------------ entry
     def compile_block(self, entry: int) -> Block:
         cpu = self.cpu
+        precise = self.precise
         body: List[Callable[[], None]] = []
         deltas = [0] * NUM_COUNTERS
         timings = cpu.config.timings
@@ -142,21 +157,28 @@ class BlockCompiler:
                 # instructions) and with the same exception as the
                 # interpreter's fetch.
                 term = self._raiser_refetch(pc)
+                if precise:
+                    term = self._precise_term(term, pc)
                 return self._finish(entry, pc, n, deltas, body, term)
 
             unit = instr.requires
             if unit is not None and not cpu.config.has_unit(unit):
                 term = self._raiser_unit(instr)
+                if precise:
+                    term = self._precise_term(term, pc)
                 return self._finish(entry, pc, n, deltas, body, term)
 
             klass = instr.klass
             if klass is InstrClass.IMM_PREFIX:
                 pending_imm = instr.imm & 0xFFFF
-                deltas[CNT_CYCLES] += timings.imm_prefix
-                deltas[CNT_INSTRUCTIONS] += 1
-                ci = CLASS_INDEX[klass]
-                deltas[CNT_CLASS_COUNT + ci] += 1
-                deltas[CNT_CLASS_CYCLES + ci] += timings.imm_prefix
+                if precise:
+                    body.append(self._record_imm_prefix(pc, pending_imm))
+                else:
+                    deltas[CNT_CYCLES] += timings.imm_prefix
+                    deltas[CNT_INSTRUCTIONS] += 1
+                    ci = CLASS_INDEX[klass]
+                    deltas[CNT_CLASS_COUNT + ci] += 1
+                    deltas[CNT_CLASS_CYCLES + ci] += timings.imm_prefix
                 n += 1
                 pc += 4
                 continue
@@ -164,22 +186,34 @@ class BlockCompiler:
             if instr.is_branch:
                 term, extra_instructions, end = self._compile_terminator(
                     pc, instr, pending_imm)
+                if precise:
+                    term = self._precise_term(term, pc)
                 n += 1 + extra_instructions
                 return self._finish(entry, end, n, deltas, body, term)
 
-            handler, cycles = self._compile_straightline(instr, pending_imm,
-                                                         slot_mode=False)
-            if handler is not None:
-                body.append(handler)
-            deltas[CNT_CYCLES] += cycles
-            deltas[CNT_INSTRUCTIONS] += 1
-            ci = CLASS_INDEX[klass]
-            deltas[CNT_CLASS_COUNT + ci] += 1
-            deltas[CNT_CLASS_CYCLES + ci] += cycles
-            if klass is InstrClass.LOAD:
-                deltas[CNT_LOADS] += 1
-            elif klass is InstrClass.STORE:
-                deltas[CNT_STORES] += 1
+            if precise:
+                # Per-handler statistics: reuse the delay-slot (self-
+                # recording) flavour of every handler and add pc / latch
+                # maintenance, so a mid-block fault leaves the CPU in
+                # exactly the interpreter's fault-point state.
+                handler, cycles = self._compile_straightline(
+                    instr, pending_imm, slot_mode=True)
+                body.append(self._precise_body(handler, pc,
+                                               pending_imm is not None))
+            else:
+                handler, cycles = self._compile_straightline(
+                    instr, pending_imm, slot_mode=False)
+                if handler is not None:
+                    body.append(handler)
+                deltas[CNT_CYCLES] += cycles
+                deltas[CNT_INSTRUCTIONS] += 1
+                ci = CLASS_INDEX[klass]
+                deltas[CNT_CLASS_COUNT + ci] += 1
+                deltas[CNT_CLASS_CYCLES + ci] += cycles
+                if klass is InstrClass.LOAD:
+                    deltas[CNT_LOADS] += 1
+                elif klass is InstrClass.STORE:
+                    deltas[CNT_STORES] += 1
             pending_imm = None
             n += 1
             pc += 4
@@ -197,6 +231,74 @@ class BlockCompiler:
         block: Block = (n, pairs, tuple(body), term, entry, end)
         self.cpu._blocks[entry] = block
         return block
+
+    # ------------------------------------------------- precise-fault-stats mode
+    def _record_imm_prefix(self, pc: int, latch_value: int) -> Callable[[], None]:
+        """Precise-mode handler for an ``imm`` prefix.
+
+        The prefix's semantics stay statically fused into its consumer; at
+        run time the handler only records the prefix's own statistics and
+        mirrors the interpreter's latch state so that a fault in the
+        consumer leaves ``_imm_latch`` set, exactly as the interpreter
+        would.
+        """
+        cpu = self.cpu
+        cnt = cpu._counters
+        cycles = cpu.config.timings.imm_prefix
+        ci_count = CNT_CLASS_COUNT + CLASS_INDEX[InstrClass.IMM_PREFIX]
+        ci_cycles = CNT_CLASS_CYCLES + CLASS_INDEX[InstrClass.IMM_PREFIX]
+
+        def h() -> None:
+            cpu.pc = pc
+            cpu._imm_latch = latch_value
+            cnt[CNT_CYCLES] += cycles
+            cnt[CNT_INSTRUCTIONS] += 1
+            cnt[ci_count] += 1
+            cnt[ci_cycles] += cycles
+
+        return h
+
+    def _precise_body(self, handler: Callable, pc: int,
+                      clears_latch: bool) -> Callable[[], None]:
+        """Wrap a self-recording handler with pc / imm-latch maintenance."""
+        cpu = self.cpu
+        if clears_latch:
+            def h() -> None:
+                cpu.pc = pc
+                handler()
+                cpu._imm_latch = None
+        else:
+            def h() -> None:
+                cpu.pc = pc
+                handler()
+        return h
+
+    def _precise_term(self, term: Callable[[], int],
+                      pc: int) -> Callable[[], int]:
+        """Wrap a terminator: pc points at the branch while it executes and
+        the imm latch is consumed when it completes (interpreter order)."""
+        cpu = self.cpu
+
+        def wrapped() -> int:
+            cpu.pc = pc
+            next_pc = term()
+            cpu._imm_latch = None
+            return next_pc
+
+        return wrapped
+
+    def _precise_slot(self, slot_handler: Callable[[], int],
+                      slot_pc: int) -> Callable[[], int]:
+        """Delay-slot wrapper: the interpreter executes the slot with
+        ``self.pc`` pointing at the slot, so a faulting slot must leave the
+        pc there."""
+        cpu = self.cpu
+
+        def wrapped() -> int:
+            cpu.pc = slot_pc
+            return slot_handler()
+
+        return wrapped
 
     # ------------------------------------------------------- raiser terminators
     def _raiser_refetch(self, pc: int) -> Callable[[], int]:
@@ -521,6 +623,8 @@ class BlockCompiler:
             slot_handler, _ = self._compile_straightline(slot_instr,
                                                          pending_imm,
                                                          slot_mode=True)
+            if self.precise:
+                slot_handler = self._precise_slot(slot_handler, pc + 4)
             extra = 1
 
         if klass is InstrClass.BRANCH_COND:
@@ -607,14 +711,19 @@ class BlockCompiler:
                 target = target_fn()
                 cycles = taken_cycles
                 next_pc = target
-                cnt[CNT_BRANCHES_TAKEN] += 1
             else:
                 target = None
                 cycles = not_taken_cycles
                 next_pc = fallthrough
-                cnt[CNT_BRANCHES_NOT_TAKEN] += 1
+            # The slot executes before any of the branch's own statistics
+            # are recorded (interpreter order — a faulting slot must leave
+            # the branch unrecorded).
             if has_slot:
                 cycles += slot_handler()
+            if taken:
+                cnt[CNT_BRANCHES_TAKEN] += 1
+            else:
+                cnt[CNT_BRANCHES_NOT_TAKEN] += 1
             cnt[CNT_CYCLES] += cycles
             cnt[CNT_INSTRUCTIONS] += 1
             cnt[ci_count] += 1

@@ -75,6 +75,16 @@ class SimplePeripheral:
     def tick(self, cycles: int) -> None:  # pragma: no cover - nothing to do
         return None
 
+    # ------------------------------------------------------------ checkpointing
+    def snapshot_state(self) -> Dict:
+        return {"registers": list(self.registers),
+                "reads": self.reads, "writes": self.writes}
+
+    def restore_state(self, state: Dict) -> None:
+        self.registers[:] = state["registers"]
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+
 
 class BusError(Exception):
     """Raised when an OPB access does not decode to any peripheral."""
@@ -98,7 +108,9 @@ class OnChipPeripheralBus:
             hi = lo + existing.window_size
             if new_lo < hi and lo < new_hi:
                 raise BusError(
-                    f"peripheral {peripheral.name!r} window overlaps {existing.name!r}"
+                    f"peripheral {peripheral.name!r} window "
+                    f"[{new_lo:#010x}, {new_hi:#010x}) overlaps "
+                    f"{existing.name!r} window [{lo:#010x}, {hi:#010x})"
                 )
         self.peripherals.append(peripheral)
 

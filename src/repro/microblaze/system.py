@@ -87,6 +87,9 @@ class MicroBlazeSystem:
         Execution engine for the CPU core: ``"threaded"`` (default, the
         threaded-code engine) or ``"interp"`` (the reference interpreter).
         Both are bit-exact; see :mod:`repro.microblaze.engine`.
+    precise_fault_stats:
+        Opt-in exact fault-path statistics for the threaded engine (see
+        :class:`~repro.microblaze.cpu.MicroBlazeCPU`).
     """
 
     def __init__(
@@ -94,6 +97,7 @@ class MicroBlazeSystem:
         config: MicroBlazeConfig = PAPER_CONFIG,
         peripherals: Sequence[Peripheral] = (),
         engine: Optional[str] = None,
+        precise_fault_stats: bool = False,
     ):
         self.config = config
         self.instr_bram = BlockRAM(config.instr_bram_kb * 1024, name="instr_bram")
@@ -104,8 +108,12 @@ class MicroBlazeSystem:
         for peripheral in peripherals:
             self.opb.attach(peripheral)
         self.cpu = MicroBlazeCPU(config, self.instr_bram, self.data_bram, self.opb,
-                                 engine=engine)
+                                 engine=engine,
+                                 precise_fault_stats=precise_fault_stats)
         self._loaded_program: Optional[Program] = None
+        #: Program metadata recovered from a checkpoint restore (the image
+        #: itself lives in the BRAMs); see :meth:`restore_checkpoint`.
+        self._checkpoint_meta: Optional[Dict] = None
 
     # ----------------------------------------------------------------- loading
     def attach_peripheral(self, peripheral: Peripheral) -> None:
@@ -130,6 +138,7 @@ class MicroBlazeSystem:
         self.data_bram.load_image(bytes(program.data))
         self.cpu.invalidate_decode_cache()
         self._loaded_program = program
+        self._checkpoint_meta = None
 
     # ----------------------------------------------------------------- running
     def run(
@@ -167,6 +176,55 @@ class MicroBlazeSystem:
             data_image=bytes(self.data_bram.storage[:max(loaded.data_size, 4096)]),
         )
 
+    # ----------------------------------------------------------- checkpointing
+    def start(self, program: Program) -> None:
+        """Load ``program`` and reset the CPU without running it.
+
+        Use together with :func:`repro.microblaze.checkpoint.run_slice` and
+        :meth:`resume` for preemptible (sliced) execution; :meth:`run` is
+        the load-reset-run convenience for uninterrupted runs.
+        """
+        self.load(program)
+        self.cpu.reset(entry_point=program.entry_point,
+                       stack_pointer=self.data_bram.size - 4)
+
+    def checkpoint(self) -> bytes:
+        """Snapshot the whole system to a compact, versioned bytes blob."""
+        from .checkpoint import capture_checkpoint
+        return capture_checkpoint(self)
+
+    def restore_checkpoint(self, blob: bytes) -> None:
+        """Restore a :meth:`checkpoint` blob bit-exactly into this system."""
+        from .checkpoint import restore_checkpoint
+        restore_checkpoint(self, blob)
+
+    def resume(self, max_instructions: int = 50_000_000) -> ExecutionResult:
+        """Continue executing from the current CPU state to completion.
+
+        Unlike :meth:`run` this performs no reset, so it picks up exactly
+        where a restored checkpoint (or a preempted slice) left off.  The
+        returned result is indistinguishable from an uninterrupted
+        :meth:`run` of the same program: statistics are cumulative across
+        slices and the data-image window matches the original program's.
+        """
+        if self._loaded_program is not None:
+            name = self._loaded_program.name
+            data_size = self._loaded_program.data_size
+        elif self._checkpoint_meta is not None:
+            name = self._checkpoint_meta["name"]
+            data_size = self._checkpoint_meta["data_size"]
+        else:
+            raise RuntimeError("nothing to resume: no program loaded and no "
+                               "checkpoint restored")
+        stats = self.cpu.run(max_instructions=max_instructions)
+        return ExecutionResult(
+            program_name=name,
+            config=self.config,
+            stats=stats,
+            return_value=self.cpu.read_register(3),
+            data_image=bytes(self.data_bram.storage[:max(data_size, 4096)]),
+        )
+
 
 def run_program(
     program: Program,
@@ -175,7 +233,9 @@ def run_program(
     peripherals: Sequence[Peripheral] = (),
     max_instructions: int = 50_000_000,
     engine: Optional[str] = None,
+    precise_fault_stats: bool = False,
 ) -> ExecutionResult:
     """Convenience helper: build a system, run ``program``, return the result."""
-    system = MicroBlazeSystem(config=config, peripherals=peripherals, engine=engine)
+    system = MicroBlazeSystem(config=config, peripherals=peripherals, engine=engine,
+                              precise_fault_stats=precise_fault_stats)
     return system.run(program, listeners=listeners, max_instructions=max_instructions)

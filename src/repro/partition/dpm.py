@@ -80,6 +80,13 @@ class PartitioningOutcome:
     implementation: Optional[HardwareImplementation] = None
     patch: Optional[BinaryPatch] = None
     dpm_seconds: float = 0.0
+    #: Whether the CAD artifacts came from the content-addressed cache
+    #: (host-side memoization; the *modelled* on-chip tool time
+    #: ``dpm_seconds`` is unaffected, it is a property of the simulated
+    #: system, not of how fast this process produced the artifacts).
+    cad_cache_hit: bool = False
+    #: Content address of the (kernel, WCLA) pair when a cache was in use.
+    cad_cache_key: Optional[str] = None
 
     def summary(self) -> str:
         if not self.success:
@@ -94,14 +101,26 @@ class PartitioningOutcome:
 
 
 class DynamicPartitioningModule:
-    """Runs the ROCPART flow for one program and one critical region."""
+    """Runs the ROCPART flow for one program and one critical region.
+
+    ``artifact_cache`` (a
+    :class:`~repro.service.artifact_cache.CadArtifactCache`) memoizes the
+    synthesis / placement / routing / implementation outputs under a
+    content address of the kernel's dataflow graph and the WCLA
+    parameters: repeated partitioning of the same loop body — across
+    service jobs, across the cores of a multiprocessor system, across
+    sweep repetitions — skips the CAD flow entirely.  Without a cache the
+    flow always runs, exactly as before.
+    """
 
     def __init__(self, wcla: WclaParameters = DEFAULT_WCLA,
                  wcla_base_address: int = OPB_BASE_ADDRESS,
-                 cost_model: Optional[DpmCostModel] = None):
+                 cost_model: Optional[DpmCostModel] = None,
+                 artifact_cache=None):
         self.wcla = wcla
         self.wcla_base_address = wcla_base_address
         self.cost_model = cost_model if cost_model is not None else DpmCostModel()
+        self.artifact_cache = artifact_cache
 
     def partition(self, program: Program,
                   region: Optional[CriticalRegion]) -> PartitioningOutcome:
@@ -124,23 +143,47 @@ class DynamicPartitioningModule:
             return PartitioningOutcome(success=False, region=region,
                                        reason=kernel.rejection_reason, kernel=kernel)
 
-        synthesis = synthesize_kernel(kernel,
-                                      lut_inputs=self.wcla.fabric.lut_inputs,
-                                      memory_ports=self.wcla.memory_ports)
-        try:
-            placement = place_kernel(synthesis, self.wcla)
-        except FabricCapacityError as error:
-            return PartitioningOutcome(success=False, region=region,
-                                       reason=str(error), kernel=kernel,
-                                       synthesis=synthesis)
-        routing = route_kernel(placement, self.wcla)
-        implementation = implement_kernel(kernel, synthesis, placement, routing,
-                                          self.wcla)
+        cache = self.artifact_cache
+        cache_key: Optional[str] = None
+        cache_hit = False
+        artifacts = None
+        if cache is not None:
+            cache_key = cache.key_for(kernel, self.wcla)
+            artifacts = cache.lookup(cache_key)
+        if artifacts is not None:
+            # Content hit: the whole on-chip CAD flow (synthesis, mapping,
+            # placement, routing, implementation) is skipped.  Only fitting
+            # bundles are ever stored, so a hit implies the kernel fits.
+            cache_hit = True
+            synthesis = artifacts.synthesis
+            placement = artifacts.placement
+            routing = artifacts.routing
+            implementation = artifacts.implementation
+        else:
+            synthesis = synthesize_kernel(kernel,
+                                          lut_inputs=self.wcla.fabric.lut_inputs,
+                                          memory_ports=self.wcla.memory_ports)
+            try:
+                placement = place_kernel(synthesis, self.wcla)
+            except FabricCapacityError as error:
+                return PartitioningOutcome(success=False, region=region,
+                                           reason=str(error), kernel=kernel,
+                                           synthesis=synthesis,
+                                           cad_cache_key=cache_key)
+            routing = route_kernel(placement, self.wcla)
+            implementation = implement_kernel(kernel, synthesis, placement,
+                                              routing, self.wcla)
+            if cache is not None and placement.area.fits:
+                from ..service.artifact_cache import CadArtifacts
+                cache.store(cache_key, CadArtifacts(
+                    synthesis=synthesis, placement=placement,
+                    routing=routing, implementation=implementation))
         if not placement.area.fits:
             return PartitioningOutcome(success=False, region=region,
                                        reason="kernel does not fit the fabric",
                                        kernel=kernel, synthesis=synthesis,
-                                       placement=placement, routing=routing)
+                                       placement=placement, routing=routing,
+                                       cad_cache_key=cache_key)
         try:
             patch = apply_patch(program, kernel, wcla_base=self.wcla_base_address)
         except PatchError as error:
@@ -148,7 +191,9 @@ class DynamicPartitioningModule:
                                        reason=f"binary update failed: {error}",
                                        kernel=kernel, synthesis=synthesis,
                                        placement=placement, routing=routing,
-                                       implementation=implementation)
+                                       implementation=implementation,
+                                       cad_cache_hit=cache_hit,
+                                       cad_cache_key=cache_key)
         dpm_seconds = self.cost_model.partitioning_seconds(kernel, synthesis,
                                                            placement, routing)
         return PartitioningOutcome(
@@ -161,4 +206,6 @@ class DynamicPartitioningModule:
             implementation=implementation,
             patch=patch,
             dpm_seconds=dpm_seconds,
+            cad_cache_hit=cache_hit,
+            cad_cache_key=cache_key,
         )

@@ -1,0 +1,227 @@
+"""``repro-warp`` — command-line front end of the warp service.
+
+Two subcommands::
+
+    repro-warp suite [--benchmarks brev,matmul] [--configs paper,minimal]
+                     [--engines threaded,interp] [--small] [--workers N]
+                     [--repeat N] [--out report.json]
+
+runs the built-in suite sweep (benchmarks × configurations × engines)
+through the service, and ::
+
+    repro-warp jobs examples/service_jobs.json [--workers N] [--out ...]
+
+runs a declarative job file.  Job files are JSON::
+
+    {"jobs": [
+        {"name": "brev-fast", "benchmark": "brev", "engine": "threaded"},
+        {"name": "brev-nobs", "benchmark": "brev", "small": true,
+         "priority": 5, "config": {"use_barrel_shifter": false},
+         "config_label": "no-bs"},
+        {"name": "inline", "source": "int main() { ... }"}
+    ]}
+
+where ``config`` holds :class:`~repro.microblaze.config.MicroBlazeConfig`
+field overrides applied to the paper configuration.  Both subcommands
+print the suite-level speedup/energy tables and write the full JSON
+report (per-job metrics, CAD-cache hit/miss counters, wall times) to
+``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..microblaze.config import MINIMAL_CONFIG, PAPER_CONFIG, MicroBlazeConfig
+from .jobs import JobSpecError, ServiceReport, WarpJob, suite_sweep_jobs
+from .pool import WarpService
+
+#: Named processor configurations selectable from the command line.
+NAMED_CONFIGS: Dict[str, MicroBlazeConfig] = {
+    "paper": PAPER_CONFIG,
+    "minimal": MINIMAL_CONFIG,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-warp",
+        description="Batch warp-processing service: run warp jobs over a "
+                    "worker pool with a content-addressed CAD cache.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workers", type=int, default=0,
+                         help="pool worker processes (0 = serial in-process, "
+                              "the default)")
+        sub.add_argument("--policy", choices=("priority", "fifo"),
+                         default="priority", help="job ordering policy")
+        sub.add_argument("--out", type=Path, default=None,
+                         help="write the JSON report here")
+        sub.add_argument("--quiet", action="store_true",
+                         help="suppress the table output")
+
+    suite = subparsers.add_parser(
+        "suite", help="run the built-in suite sweep (benchmarks × configs "
+                      "× engines)")
+    suite.add_argument("--benchmarks", default=None,
+                       help="comma-separated benchmark names "
+                            "(default: the full six-benchmark suite)")
+    suite.add_argument("--configs", default="paper",
+                       help=f"comma-separated configuration names from "
+                            f"{sorted(NAMED_CONFIGS)} (default: paper)")
+    suite.add_argument("--engines", default="threaded",
+                       help="comma-separated engines from (threaded, interp)")
+    suite.add_argument("--small", action="store_true",
+                       help="use the reduced-size benchmark parameters")
+    suite.add_argument("--repeat", type=int, default=1,
+                       help="run the sweep N times through one service "
+                            "(later repeats are served by the CAD cache)")
+    common(suite)
+
+    jobs = subparsers.add_parser("jobs", help="run a JSON job file")
+    jobs.add_argument("jobfile", type=Path)
+    common(jobs)
+    return parser
+
+
+# --------------------------------------------------------------------------- job files
+def _config_from_spec(spec: Dict, job_name: str) -> MicroBlazeConfig:
+    if not isinstance(spec, dict):
+        raise JobSpecError(f"job {job_name!r}: 'config' must be an object of "
+                           f"MicroBlazeConfig field overrides")
+    valid = {field.name for field in dataclasses.fields(MicroBlazeConfig)}
+    unknown = set(spec) - valid
+    if unknown:
+        raise JobSpecError(f"job {job_name!r}: unknown config fields "
+                           f"{sorted(unknown)}")
+    # Only scalar fields are overridable from a job file; structured fields
+    # (the pipeline timing table) would also break the frozen config's
+    # hashability, which the scheduler's dedup key relies on.
+    for key, value in spec.items():
+        if not isinstance(value, (bool, int, float)) or value is None:
+            raise JobSpecError(
+                f"job {job_name!r}: config field {key!r} must be a scalar "
+                f"(bool/int/float), got {type(value).__name__}"
+            )
+    try:
+        return dataclasses.replace(PAPER_CONFIG, **spec)
+    except (TypeError, ValueError) as error:
+        raise JobSpecError(f"job {job_name!r}: invalid config overrides: "
+                           f"{error}") from error
+
+
+def _int_field(entry: Dict, key: str, default: int, path: Path) -> int:
+    value = entry.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise JobSpecError(f"{path}: job {entry['name']!r}: {key!r} must be "
+                           f"an integer, got {type(value).__name__}")
+    return value
+
+
+def load_job_file(path: Path) -> List[WarpJob]:
+    """Parse a JSON job file into :class:`WarpJob` specs."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise JobSpecError(f"{path}: not valid JSON: {error}") from error
+    entries = payload.get("jobs") if isinstance(payload, dict) else None
+    if not isinstance(entries, list) or not entries:
+        raise JobSpecError(f"{path}: expected an object with a non-empty "
+                           f"'jobs' array")
+    jobs: List[WarpJob] = []
+    allowed = {"name", "benchmark", "source", "small", "engine", "priority",
+               "max_instructions", "config", "config_label"}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise JobSpecError(f"{path}: job #{index} must be an object with "
+                               f"a 'name'")
+        unknown = set(entry) - allowed
+        if unknown:
+            raise JobSpecError(f"{path}: job {entry['name']!r} has unknown "
+                               f"fields {sorted(unknown)}")
+        config_spec = entry.get("config", {})
+        config = _config_from_spec(config_spec, entry["name"]) if config_spec \
+            else PAPER_CONFIG
+        jobs.append(WarpJob(
+            name=entry["name"],
+            benchmark=entry.get("benchmark"),
+            source=entry.get("source"),
+            small=bool(entry.get("small", False)),
+            config=config,
+            config_label=entry.get("config_label",
+                                   "custom" if config_spec else "paper"),
+            engine=entry.get("engine"),
+            priority=_int_field(entry, "priority", 0, path),
+            max_instructions=_int_field(entry, "max_instructions",
+                                        50_000_000, path),
+        ))
+    return jobs
+
+
+def _split(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+# --------------------------------------------------------------------------- entry point
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    try:
+        if args.command == "suite":
+            configs = []
+            for label in _split(args.configs):
+                if label not in NAMED_CONFIGS:
+                    raise JobSpecError(f"unknown config {label!r}; choose "
+                                       f"from {sorted(NAMED_CONFIGS)}")
+                configs.append((label, NAMED_CONFIGS[label]))
+            engines = _split(args.engines)
+            benchmarks = _split(args.benchmarks) if args.benchmarks else None
+            jobs = suite_sweep_jobs(configs=configs, engines=engines,
+                                    benchmarks=benchmarks, small=args.small)
+            repeats = max(1, args.repeat)
+        else:
+            jobs = load_job_file(args.jobfile)
+            repeats = 1
+    except JobSpecError as error:
+        print(f"repro-warp: {error}", file=sys.stderr)
+        return 2
+
+    with WarpService(workers=args.workers, policy=args.policy) as service:
+        reports: List[ServiceReport] = []
+        for _ in range(repeats):
+            reports.append(service.run(jobs))
+    report = reports[-1]
+
+    if not args.quiet:
+        for index, item in enumerate(reports):
+            if repeats > 1:
+                print(f"--- sweep {index + 1}/{repeats} ---")
+            print(item.summary())
+            print()
+
+    if args.out is not None:
+        plain = report.to_plain()
+        if repeats > 1:
+            # The top level IS the final sweep; earlier sweeps are listed
+            # separately (no duplicate serialization of the last one).
+            plain["repeat_count"] = repeats
+            plain["earlier_sweeps"] = [item.to_plain()
+                                       for item in reports[:-1]]
+        args.out.write_text(json.dumps(plain, indent=2) + "\n")
+        if not args.quiet:
+            print(f"report written to {args.out}")
+
+    # A failure in *any* sweep fails the invocation, not just the last one
+    # (a warm repeat can mask a cold-sweep worker death otherwise).
+    return 1 if any(item.num_failed for item in reports) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

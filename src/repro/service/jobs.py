@@ -1,0 +1,264 @@
+"""Declarative warp jobs and service-level results.
+
+A :class:`WarpJob` describes one unit of warp-as-a-service work: *what* to
+run (a built-in suite benchmark by name, or arbitrary kernel-language
+source), *on what* (a :class:`~repro.microblaze.config.MicroBlazeConfig`
+and :class:`~repro.fabric.architecture.WclaParameters`), and *how*
+(execution engine, instruction budget, priority).  Jobs are frozen,
+hashable and picklable, so the scheduler can deduplicate them by content
+and the worker pool can ship them to other processes unchanged.
+
+A :class:`ServiceResult` is the flat, picklable outcome of one job —
+speedup, energy, wall time, CAD-cache accounting — and a
+:class:`ServiceReport` aggregates results into the suite-level tables,
+reusing the row builders of :mod:`repro.eval.figures`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval.figures import metric_rows
+from ..eval.reporting import format_table
+from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
+from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
+
+#: Column order of the service's suite-level tables (the service compares
+#: software-only MicroBlaze against the warp-processed MicroBlaze; the ARM
+#: comparison points of Figure 6/7 belong to the evaluation harness).
+SERVICE_PLATFORM_ORDER = ("MicroBlaze", "MicroBlaze (Warp)")
+
+
+class JobSpecError(ValueError):
+    """Raised for malformed job specifications (CLI job files included)."""
+
+
+@dataclass(frozen=True)
+class WarpJob:
+    """One declarative warp-service job.
+
+    Exactly one of ``benchmark`` (a suite benchmark name, built with
+    ``small``-sized parameters when requested) or ``source`` (raw
+    kernel-language text) must be given.  ``name`` and ``priority`` are
+    scheduling metadata and do not participate in content deduplication.
+    """
+
+    name: str
+    benchmark: Optional[str] = None
+    source: Optional[str] = None
+    small: bool = False
+    config: MicroBlazeConfig = PAPER_CONFIG
+    config_label: str = "paper"
+    wcla: WclaParameters = DEFAULT_WCLA
+    engine: Optional[str] = None
+    max_instructions: int = 50_000_000
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.source is None):
+            raise JobSpecError(
+                f"job {self.name!r}: specify exactly one of 'benchmark' or "
+                f"'source'"
+            )
+
+    def dedup_key(self) -> Tuple:
+        """Content identity: two jobs with equal keys compute the same
+        result, whatever they are named or prioritized."""
+        return (self.benchmark, self.source, self.small, self.config,
+                self.wcla, self.engine, self.max_instructions)
+
+    def describe(self) -> str:
+        workload = self.benchmark if self.benchmark else "<inline source>"
+        engine = self.engine if self.engine else "default"
+        return (f"{self.name}: {workload}"
+                f"{' (small)' if self.small else ''} on "
+                f"{self.config_label}/{engine}")
+
+
+@dataclass
+class ServiceResult:
+    """Flat, picklable outcome of one executed job."""
+
+    job_name: str
+    workload: str
+    config_label: str
+    engine: str
+    ok: bool = True
+    error: Optional[str] = None
+    #: Warp-pipeline outcome.
+    partitioned: bool = False
+    partition_reason: Optional[str] = None
+    checksum_ok: bool = True
+    speedup: float = 1.0
+    software_ms: float = 0.0
+    warp_ms: float = 0.0
+    dpm_ms: float = 0.0
+    #: Figure-5 energies (millijoules) and the warp energy normalized to
+    #: the software-only MicroBlaze run.
+    mb_energy_mj: float = 0.0
+    warp_energy_mj: float = 0.0
+    normalized_warp_energy: float = 1.0
+    #: CAD artifact cache accounting for this job (delta while it ran).
+    cad_cache_hit: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Host-side execution accounting.
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+    #: Set on results fanned out from a deduplicated job: the name of the
+    #: job whose execution produced these numbers.
+    deduped_from: Optional[str] = None
+
+    # ----------------------------------------------------------------- metrics
+    def speedups(self) -> Dict[str, float]:
+        return {"MicroBlaze": 1.0, "MicroBlaze (Warp)": self.speedup}
+
+    def normalized_energies(self) -> Dict[str, float]:
+        return {"MicroBlaze": 1.0,
+                "MicroBlaze (Warp)": self.normalized_warp_energy}
+
+    def to_plain(self) -> Dict:
+        return asdict(self)
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate of one service run (one batch of jobs)."""
+
+    results: List[ServiceResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    mode: str = "serial"
+    workers: int = 0
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def num_jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for result in self.results if not result.ok)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cache_hits for result in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(result.cache_misses for result in self.results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def succeeded(self) -> List[ServiceResult]:
+        return [result for result in self.results if result.ok]
+
+    # ----------------------------------------------------------------- tables
+    def speedup_rows(self) -> List[List[object]]:
+        """Suite-level speedup rows via the Figure-6 row builder."""
+        return metric_rows([(result.job_name, result.speedups())
+                            for result in self.succeeded()],
+                           SERVICE_PLATFORM_ORDER)
+
+    def energy_rows(self) -> List[List[object]]:
+        """Suite-level normalized-energy rows via the Figure-7 row builder."""
+        return metric_rows([(result.job_name, result.normalized_energies())
+                            for result in self.succeeded()],
+                           SERVICE_PLATFORM_ORDER)
+
+    def speedup_table(self) -> str:
+        return format_table(["Job"] + list(SERVICE_PLATFORM_ORDER),
+                            self.speedup_rows())
+
+    def energy_table(self) -> str:
+        return format_table(["Job"] + list(SERVICE_PLATFORM_ORDER),
+                            self.energy_rows(), float_format="{:.3f}")
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.num_jobs} jobs ({self.num_failed} failed) in "
+            f"{self.wall_seconds:.2f}s wall "
+            f"[{self.mode}, workers={self.workers}]",
+            f"CAD artifact cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"({100 * self.cache_hit_rate:.0f}% hit rate)",
+        ]
+        if self.succeeded():
+            lines.append("")
+            lines.append(self.speedup_table())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------- JSON
+    def to_plain(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "num_jobs": self.num_jobs,
+            "num_failed": self.num_failed,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "jobs": [result.to_plain() for result in self.results],
+            "tables": {
+                "speedup": self.speedup_table() if self.succeeded() else "",
+                "energy": self.energy_table() if self.succeeded() else "",
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_plain(), indent=indent)
+
+
+# --------------------------------------------------------------------------- sweeps
+def suite_sweep_jobs(
+    configs: Optional[Sequence[Tuple[str, MicroBlazeConfig]]] = None,
+    engines: Sequence[str] = ("threaded",),
+    benchmarks: Optional[Sequence[str]] = None,
+    small: bool = False,
+    wcla: WclaParameters = DEFAULT_WCLA,
+    max_instructions: int = 50_000_000,
+) -> List[WarpJob]:
+    """The built-in suite sweep: benchmarks × configurations × engines.
+
+    ``configs`` is a sequence of ``(label, config)`` pairs, defaulting to
+    the paper configuration alone.
+    """
+    from ..apps import benchmark_names
+
+    if configs is None:
+        configs = [("paper", PAPER_CONFIG)]
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    jobs: List[WarpJob] = []
+    for name in names:
+        for label, config in configs:
+            for engine in engines:
+                jobs.append(WarpJob(
+                    name=f"{name}/{label}/{engine}",
+                    benchmark=name,
+                    small=small,
+                    config=config,
+                    config_label=label,
+                    wcla=wcla,
+                    engine=engine,
+                    max_instructions=max_instructions,
+                ))
+    return jobs
+
+
+def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
+    """Clone the primary job's result for a deduplicated twin job.
+
+    Scheduling metadata that is *not* part of the dedup key — the name and
+    the configuration label — comes from the twin itself, so reports label
+    every submitted job correctly.
+    """
+    return replace(result, job_name=job.name, config_label=job.config_label,
+                   deduped_from=result.job_name,
+                   cache_hits=0, cache_misses=0, wall_seconds=0.0)

@@ -1,0 +1,281 @@
+"""Worker pool and the :class:`WarpService` façade.
+
+Execution model:
+
+* **serial** (``workers=0``) — jobs run in-process, sharing the process's
+  CAD artifact cache and compile cache.  This is also the fallback when a
+  platform cannot host a process pool.
+* **pooled** (``workers>=1``) — jobs run across ``workers`` process
+  *shards*, each a single-worker
+  :class:`concurrent.futures.ProcessPoolExecutor`.  A job routes to the
+  shard addressed by the hash of its content
+  (:meth:`~repro.service.jobs.WarpJob.dedup_key`), so repeated submissions
+  of the same content always land on the same worker — whose module-level
+  compile cache and CAD artifact cache stay warm for the worker's whole
+  lifetime.  A second identical sweep through a living service is
+  therefore served almost entirely from worker memory.  Job and result
+  payloads are plain picklable dataclasses; on POSIX (fork start method)
+  workers additionally inherit whatever the parent had already cached at
+  shard creation.
+
+Fault handling: a job that raises is caught *inside* the worker and comes
+back as a failed :class:`~repro.service.jobs.ServiceResult`.  A job that
+kills its worker outright (the interpreter dies) breaks only its own
+shard — the other shards keep computing — and every job queued on the
+broken shard is retried once in a fresh isolated single-worker pool:
+innocent victims complete normally, and only the job that kills its
+worker a second time is reported as failed.  Broken shards are replaced
+lazily; subsequent batches run normally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..compiler import compile_source_cached
+from ..microblaze.cpu import DEFAULT_ENGINE
+from ..power.energy import microblaze_energy, warp_energy
+from ..warp.processor import WarpProcessor
+from .artifact_cache import CadArtifactCache
+from .jobs import ServiceReport, ServiceResult, WarpJob
+from .scheduler import JobScheduler, ScheduledJob
+
+# --------------------------------------------------------------------------- per-process cache
+_PROCESS_CACHE: Optional[CadArtifactCache] = None
+
+
+def process_artifact_cache() -> CadArtifactCache:
+    """The calling process's CAD artifact cache (created on first use).
+
+    In a pool worker this is the per-worker warm cache; in serial mode it
+    is the service process's own.  Tests reset it with ``.clear()``.
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = CadArtifactCache()
+    return _PROCESS_CACHE
+
+
+# --------------------------------------------------------------------------- job execution
+def execute_job(job: WarpJob,
+                artifact_cache: Optional[CadArtifactCache] = None) -> ServiceResult:
+    """Run one warp job to a :class:`ServiceResult` (never raises).
+
+    This is the single execution path for both the serial mode and the
+    pool workers: compile (memoized), profile, partition (through the
+    content-addressed CAD cache), co-simulate, and evaluate the Figure-5
+    energies for the software-only and warp-processed runs.
+    """
+    start = time.perf_counter()
+    result = ServiceResult(
+        job_name=job.name,
+        workload=job.benchmark if job.benchmark else "<inline source>",
+        config_label=job.config_label,
+        engine=job.engine if job.engine else DEFAULT_ENGINE,
+        worker_pid=os.getpid(),
+    )
+    try:
+        cache = artifact_cache if artifact_cache is not None \
+            else process_artifact_cache()
+        if job.benchmark is not None:
+            from ..apps import build_benchmark
+            bench = build_benchmark(job.benchmark, small=job.small)
+            source, name = bench.source, bench.name
+        else:
+            source, name = job.source, job.name
+        program = compile_source_cached(source, name=name,
+                                        config=job.config).program
+        processor = WarpProcessor(config=job.config, wcla=job.wcla,
+                                  engine=job.engine, artifact_cache=cache)
+        hits_before, misses_before = cache.counters()
+        warp = processor.run(program, max_instructions=job.max_instructions)
+        hits_after, misses_after = cache.counters()
+
+        outcome = warp.partitioning
+        result.partitioned = outcome.success
+        result.partition_reason = outcome.reason
+        result.checksum_ok = warp.checksums_match
+        result.speedup = warp.speedup
+        result.software_ms = warp.software_seconds * 1e3
+        result.warp_ms = warp.warp_seconds * 1e3
+        result.dpm_ms = outcome.dpm_seconds * 1e3
+        result.cad_cache_hit = outcome.cad_cache_hit
+        result.cache_hits = hits_after - hits_before
+        result.cache_misses = misses_after - misses_before
+
+        mb_energy = microblaze_energy(warp.software_seconds,
+                                      job.config.clock_mhz)
+        if outcome.success:
+            synthesis = outcome.synthesis
+            w_energy = warp_energy(
+                mb_active_seconds=warp.microblaze_seconds,
+                hw_seconds=warp.hw_seconds,
+                clock_mhz=job.config.clock_mhz,
+                wcla_luts=synthesis.total_luts,
+                uses_mac=synthesis.mac_operations > 0,
+            )
+        else:
+            w_energy = microblaze_energy(warp.software_seconds,
+                                         job.config.clock_mhz,
+                                         label="MicroBlaze (Warp)")
+        result.mb_energy_mj = mb_energy.total_mj
+        result.warp_energy_mj = w_energy.total_mj
+        result.normalized_warp_energy = w_energy.normalized_to(mb_energy)
+    except Exception as error:  # noqa: BLE001 - job isolation boundary
+        result.ok = False
+        result.error = f"{type(error).__name__}: {error}"
+    result.wall_seconds = time.perf_counter() - start
+    return result
+
+
+def _worker_entry(job: WarpJob) -> ServiceResult:
+    """Module-level pool entry point (must be picklable by reference)."""
+    return execute_job(job)
+
+
+def _worker_died(job: WarpJob, error: BaseException) -> ServiceResult:
+    return ServiceResult(
+        job_name=job.name,
+        workload=job.benchmark if job.benchmark else "<inline source>",
+        config_label=job.config_label,
+        engine=job.engine if job.engine else DEFAULT_ENGINE,
+        ok=False,
+        error=f"worker process died while running this job: {error}",
+    )
+
+
+# --------------------------------------------------------------------------- the service
+class WarpService:
+    """Batch warp-as-a-service orchestrator.
+
+    Combines the deduplicating :class:`~repro.service.scheduler.JobScheduler`,
+    the worker pool (or the serial path) and the content-addressed CAD
+    cache into one object whose :meth:`run` takes a batch of
+    :class:`WarpJob` specs and returns a :class:`ServiceReport`.  The
+    service — and with it the pool's warm worker caches — survives across
+    :meth:`run` calls, so a repeated sweep is served from cache.
+    """
+
+    def __init__(self, workers: int = 0, policy: str = "priority",
+                 artifact_cache: Optional[CadArtifactCache] = None,
+                 worker_fn: Callable[[WarpJob], ServiceResult] = _worker_entry):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial in-process)")
+        self.workers = workers
+        self.policy = policy
+        #: Cache used by the serial path (pool workers use their own
+        #: per-process instances).
+        self.artifact_cache = artifact_cache if artifact_cache is not None \
+            else process_artifact_cache()
+        self._worker_fn = worker_fn
+        #: Shard index -> its single-worker executor (created lazily).
+        self._shards: Dict[int, ProcessPoolExecutor] = {}
+
+    # ------------------------------------------------------------------ pool
+    @property
+    def mode(self) -> str:
+        return "pool" if self.workers >= 1 else "serial"
+
+    def _shard_index(self, job: WarpJob) -> int:
+        """Content-affinity routing: same job content, same worker.
+
+        A stable digest rather than the builtin ``hash()``: string hashing
+        is salted per interpreter launch (``PYTHONHASHSEED``), which would
+        make job-to-worker distribution — and therefore pool load balance
+        and benchmark wall times — random per run.  ``dedup_key()`` is a
+        tuple of strings/bools/ints and frozen dataclasses whose ``repr``
+        is deterministic and field-ordered.
+        """
+        digest = hashlib.sha256(repr(job.dedup_key()).encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.workers
+
+    def _shard(self, index: int) -> ProcessPoolExecutor:
+        executor = self._shards.get(index)
+        if executor is None:
+            executor = ProcessPoolExecutor(max_workers=1)
+            self._shards[index] = executor
+        return executor
+
+    def _drop_shard(self, index: int) -> None:
+        executor = self._shards.pop(index, None)
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def close(self) -> None:
+        """Shut every shard down (idempotent)."""
+        for executor in self._shards.values():
+            executor.shutdown()
+        self._shards.clear()
+
+    def __enter__(self) -> "WarpService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- runs
+    def run(self, jobs: Sequence[WarpJob]) -> ServiceReport:
+        """Schedule, deduplicate and execute ``jobs``; aggregate a report.
+
+        Results are returned in submission order, duplicates included
+        (each carries ``deduped_from`` naming the job that actually ran).
+        """
+        scheduler = JobScheduler(policy=self.policy)
+        scheduler.add_many(jobs)
+        plan = scheduler.plan()
+
+        start = time.perf_counter()
+        if self.workers >= 1:
+            primary = self._run_pooled(plan)
+        else:
+            primary = {slot.job.name: execute_job(slot.job, self.artifact_cache)
+                       for slot in plan}
+        wall = time.perf_counter() - start
+
+        by_name: Dict[str, ServiceResult] = {}
+        for slot in plan:
+            for result in JobScheduler.expand(slot, primary[slot.job.name]):
+                by_name[result.job_name] = result
+        ordered = [by_name[job.name] for job in jobs]
+        return ServiceReport(results=ordered, wall_seconds=wall,
+                             mode=self.mode, workers=self.workers)
+
+    def _run_pooled(self, plan: List[ScheduledJob]) -> Dict[str, ServiceResult]:
+        submissions = []
+        for slot in plan:
+            shard = self._shard_index(slot.job)
+            submissions.append(
+                (slot, shard, self._shard(shard).submit(self._worker_fn,
+                                                        slot.job)))
+        results: Dict[str, ServiceResult] = {}
+        broken: List[ScheduledJob] = []
+        dead_shards = set()
+        for slot, shard, future in submissions:
+            try:
+                results[slot.job.name] = future.result()
+            except BrokenProcessPool:
+                broken.append(slot)
+                dead_shards.add(shard)
+            except Exception as error:  # noqa: BLE001 - submission-side fault
+                results[slot.job.name] = _worker_died(slot.job, error)
+        for shard in dead_shards:
+            # The shard's worker died; drop the executor (a fresh one is
+            # created lazily on the next submission to this shard).
+            self._drop_shard(shard)
+        for slot in broken:
+            # Re-run every job queued on a dead shard in an isolated pool:
+            # innocent victims complete, the actual crasher fails cleanly.
+            results[slot.job.name] = self._retry_isolated(slot.job)
+        return results
+
+    def _retry_isolated(self, job: WarpJob) -> ServiceResult:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as isolated:
+                return isolated.submit(self._worker_fn, job).result()
+        except BrokenProcessPool as error:
+            return _worker_died(job, error)

@@ -1,0 +1,101 @@
+"""Job scheduling: content deduplication and priority/FIFO ordering.
+
+The scheduler turns a batch of submitted :class:`~repro.service.jobs.WarpJob`
+specs into an execution plan:
+
+* **deduplication** — jobs with equal :meth:`~repro.service.jobs.WarpJob.
+  dedup_key` compute byte-identical results, so only the first submission
+  executes; its twins are recorded as duplicates and fanned back out after
+  execution (each duplicate gets a copy of the primary's result tagged
+  with ``deduped_from``).  A duplicate's priority still counts: the
+  executed job runs at the *highest* priority of its group.
+* **ordering** — ``policy="priority"`` (default) runs higher ``priority``
+  first, FIFO within a priority level; ``policy="fifo"`` preserves pure
+  submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .jobs import ServiceResult, WarpJob, expand_duplicate
+
+_POLICIES = ("priority", "fifo")
+
+
+@dataclass
+class ScheduledJob:
+    """One executable slot of the plan: a primary job plus its twins."""
+
+    job: WarpJob
+    sequence: int
+    #: Effective priority (max over the dedup group).
+    priority: int
+    duplicates: List[WarpJob] = field(default_factory=list)
+
+    @property
+    def fan_out(self) -> int:
+        """How many submitted jobs this slot satisfies."""
+        return 1 + len(self.duplicates)
+
+
+class JobScheduler:
+    """Deduplicating priority/FIFO scheduler for warp jobs."""
+
+    def __init__(self, policy: str = "priority"):
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose one of "
+                             f"{_POLICIES}")
+        self.policy = policy
+        self._slots: List[ScheduledJob] = []
+        self._by_key: Dict[Tuple, ScheduledJob] = {}
+        self._names: set = set()
+        self._sequence = 0
+
+    # -------------------------------------------------------------- submission
+    def add(self, job: WarpJob) -> ScheduledJob:
+        """Submit one job; returns the slot that will satisfy it."""
+        if job.name in self._names:
+            raise ValueError(f"duplicate job name {job.name!r}; names must "
+                             f"be unique within a batch")
+        self._names.add(job.name)
+        key = job.dedup_key()
+        slot = self._by_key.get(key)
+        if slot is not None:
+            slot.duplicates.append(job)
+            slot.priority = max(slot.priority, job.priority)
+            return slot
+        slot = ScheduledJob(job=job, sequence=self._sequence,
+                            priority=job.priority)
+        self._sequence += 1
+        self._slots.append(slot)
+        self._by_key[key] = slot
+        return slot
+
+    def add_many(self, jobs: Sequence[WarpJob]) -> None:
+        for job in jobs:
+            self.add(job)
+
+    # --------------------------------------------------------------- the plan
+    @property
+    def num_submitted(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_unique(self) -> int:
+        return len(self._slots)
+
+    def plan(self) -> List[ScheduledJob]:
+        """The execution order under the configured policy."""
+        if self.policy == "fifo":
+            return sorted(self._slots, key=lambda slot: slot.sequence)
+        return sorted(self._slots,
+                      key=lambda slot: (-slot.priority, slot.sequence))
+
+    # ------------------------------------------------------------------ fan-out
+    @staticmethod
+    def expand(slot: ScheduledJob, result: ServiceResult) -> List[ServiceResult]:
+        """The primary's result plus one tagged copy per duplicate."""
+        return [result] + [expand_duplicate(result, twin)
+                           for twin in slot.duplicates]

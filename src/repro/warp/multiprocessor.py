@@ -82,6 +82,20 @@ class MultiProcessorResult:
             return 0.0
         return max(item.dpm_finish_seconds for item in self.schedule)
 
+    def software_phase_seconds(self, core_index: int) -> float:
+        """How long core ``core_index`` keeps software-only timing.
+
+        A core executes its original binary until the shared DPM has
+        finished partitioning *its* kernel (``dpm_finish_seconds`` of its
+        schedule entry); only then does the patched binary start shipping
+        the kernel to hardware.  A core whose region was never partitioned
+        runs in software for its whole execution.
+        """
+        for item in self.schedule:
+            if item.core_index == core_index:
+                return item.dpm_finish_seconds
+        return self.per_core[core_index].software_seconds
+
     def summary(self) -> str:
         lines = [
             f"{self.num_cores}-core warp system "
@@ -102,7 +116,8 @@ class MultiProcessorWarpSystem:
                  config: MicroBlazeConfig = PAPER_CONFIG,
                  wcla: WclaParameters = DEFAULT_WCLA,
                  num_dpm_modules: int = 1,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 artifact_cache=None):
         if num_cores <= 0:
             raise ValueError("a warp system needs at least one core")
         if num_dpm_modules <= 0:
@@ -112,6 +127,10 @@ class MultiProcessorWarpSystem:
         self.wcla = wcla
         self.num_dpm_modules = num_dpm_modules
         self.engine = engine
+        #: Shared content-addressed CAD cache: the paper's single DPM
+        #: serves every core, so cores running the same application reuse
+        #: one set of CAD artifacts instead of re-synthesizing per core.
+        self.artifact_cache = artifact_cache
 
     def run(self, programs: Sequence[Program]) -> MultiProcessorResult:
         """Run one program per core through the warp flow.
@@ -128,7 +147,8 @@ class MultiProcessorWarpSystem:
 
         for index, program in enumerate(programs):
             processor = WarpProcessor(config=self.config, wcla=self.wcla,
-                                      engine=self.engine)
+                                      engine=self.engine,
+                                      artifact_cache=self.artifact_cache)
             result = processor.run(program)
             per_core.append(result)
             if result.partitioning.success:

@@ -120,14 +120,20 @@ class WarpProcessor:
         wcla_base_address: int = OPB_BASE_ADDRESS,
         profiler_cache_entries: int = 16,
         engine: Optional[str] = None,
+        artifact_cache=None,
     ):
         self.config = config
         self.wcla = wcla
         self.wcla_base_address = wcla_base_address
         self.profiler_cache_entries = profiler_cache_entries
         self.engine = engine
+        # The optional content-addressed CAD cache (see
+        # repro.service.artifact_cache) lets repeated partitionings of the
+        # same kernel skip synthesis/place/route; the warp service's
+        # workers pass their per-process instance here.
         self.dpm = DynamicPartitioningModule(wcla=wcla,
-                                             wcla_base_address=wcla_base_address)
+                                             wcla_base_address=wcla_base_address,
+                                             artifact_cache=artifact_cache)
 
     # ----------------------------------------------------------------- phases
     def profile(self, program: Program,

@@ -75,9 +75,33 @@ class TestOpb:
 
     def test_overlapping_windows_rejected(self):
         bus = OnChipPeripheralBus()
-        bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS))
-        with pytest.raises(BusError):
-            bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS + 4))
+        bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS,
+                                    name="first"))
+        with pytest.raises(BusError) as info:
+            bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS + 4,
+                                        name="second"))
+        # The error names both peripherals and their address windows.
+        message = str(info.value)
+        assert "'first'" in message and "'second'" in message
+        assert f"{OPB_BASE_ADDRESS:#010x}" in message
+        # The rejected peripheral was not attached.
+        assert len(bus.peripherals) == 1
+
+    def test_partial_and_containing_overlaps_rejected(self):
+        bus = OnChipPeripheralBus()
+        bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS + 8,
+                                    num_registers=4, name="mid"))
+        # Overlap from below, exact duplicate, and a containing window.
+        for base, registers in ((OPB_BASE_ADDRESS, 4),
+                                (OPB_BASE_ADDRESS + 8, 4),
+                                (OPB_BASE_ADDRESS, 16)):
+            with pytest.raises(BusError):
+                bus.attach(SimplePeripheral(base_address=base,
+                                            num_registers=registers))
+        # Adjacent (non-overlapping) windows attach fine.
+        bus.attach(SimplePeripheral(base_address=OPB_BASE_ADDRESS + 24,
+                                    num_registers=2, name="above"))
+        assert len(bus.peripherals) == 2
 
 
 # --------------------------------------------------------------------------- CPU semantics

@@ -150,3 +150,68 @@ class TestMultiProcessor:
             MultiProcessorWarpSystem(num_cores=0)
         with pytest.raises(ValueError):
             MultiProcessorWarpSystem(num_cores=1).run([None, None])
+
+
+class TestDpmSchedule:
+    """Round-robin DPM schedule invariants (ISSUE 2 satellite)."""
+
+    def test_single_dpm_schedule_is_contiguous_and_ordered(
+            self, compiled_small_programs):
+        programs = [compiled_small_programs["brev"].copy(),
+                    compiled_small_programs["canrdr"].copy(),
+                    compiled_small_programs["matmul"].copy()]
+        result = MultiProcessorWarpSystem(num_cores=3).run(programs)
+        assert len(result.schedule) == 3
+
+        # Cores are served in round-robin (submission) order...
+        assert [item.core_index for item in result.schedule] == [0, 1, 2]
+        # ...the first core is served immediately...
+        assert result.schedule[0].dpm_start_seconds == 0.0
+        # ...and with a single DPM the service intervals are contiguous:
+        # each core's partitioning starts the instant the previous one ends.
+        for earlier, later in zip(result.schedule, result.schedule[1:]):
+            assert later.dpm_start_seconds == pytest.approx(
+                earlier.dpm_finish_seconds)
+        for item in result.schedule:
+            assert item.dpm_finish_seconds > item.dpm_start_seconds
+            assert item.dpm_service_seconds == pytest.approx(
+                item.dpm_finish_seconds - item.dpm_start_seconds)
+
+    def test_core_keeps_software_timing_until_served(
+            self, compiled_small_programs):
+        programs = [compiled_small_programs["brev"].copy(),
+                    compiled_small_programs["canrdr"].copy()]
+        result = MultiProcessorWarpSystem(num_cores=2).run(programs)
+        # A partitioned core runs its original (software) binary exactly
+        # until the DPM finishes serving it.
+        for item in result.schedule:
+            assert result.software_phase_seconds(item.core_index) \
+                == pytest.approx(item.dpm_finish_seconds)
+        # Later cores wait longer for the shared DPM than earlier ones.
+        assert result.software_phase_seconds(1) \
+            > result.software_phase_seconds(0)
+
+    def test_unpartitioned_core_stays_in_software_for_the_whole_run(self):
+        from repro.isa.assembler import assemble
+        # A loop-free program: the profiler finds no critical region, the
+        # DPM never serves this core, and it keeps software timing for its
+        # entire execution.
+        flat = assemble("""
+            addi r3, r0, 7
+            bri  0
+        """, name="flat")
+        result = MultiProcessorWarpSystem(num_cores=1).run([flat])
+        assert not result.per_core[0].partitioning.success
+        assert result.schedule == []
+        assert result.software_phase_seconds(0) \
+            == pytest.approx(result.per_core[0].software_seconds)
+
+    def test_two_dpms_overlap_service_intervals(self,
+                                                compiled_small_programs):
+        programs = [compiled_small_programs["brev"].copy(),
+                    compiled_small_programs["canrdr"].copy()]
+        result = MultiProcessorWarpSystem(
+            num_cores=2, num_dpm_modules=2).run(programs)
+        # With one DPM per core both kernels are served immediately.
+        assert all(item.dpm_start_seconds == 0.0
+                   for item in result.schedule)
