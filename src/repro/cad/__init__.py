@@ -1,0 +1,107 @@
+"""The staged on-chip CAD flow (decompile → synthesis → place → route →
+implement → binary update).
+
+The paper's core contribution is the lean CAD flow the dynamic
+partitioning module runs on chip.  This package makes that flow an
+explicit, first-class pipeline instead of a hardcoded call sequence:
+
+* :mod:`~repro.cad.flow` — the :class:`FlowStage` contract (name,
+  content-key contribution, compute/install, modelled on-chip cycles), the
+  :class:`FlowContext` threading typed artifacts between stages, the
+  :class:`CadFlow` driver (per-stage host wall time, modelled DPM cycles,
+  tracing hooks), the stage registry, and the :class:`DpmCostModel` whose
+  per-phase constants the stages consult.
+* :mod:`~repro.cad.stages` — the concrete stages plus registered
+  alternates (e.g. the single-pass greedy router ``route-greedy``).
+* :mod:`~repro.cad.keys` — deterministic canonical forms and the SHA-256
+  content digests used for both whole-bundle and per-stage addressing.
+* :mod:`~repro.cad.artifacts` — the :class:`CadArtifactCache`: a
+  whole-bundle fast path plus per-stage content-addressed entries, with
+  memoized capacity rejections surfaced as a distinct counter.
+
+Stage-key versioning: bump :data:`~repro.cad.keys.CANONICAL_FORM_VERSION`
+when the DADG serialization changes shape (it invalidates every stage);
+bump an individual stage's ``key_version`` when only that stage's
+algorithm or parameter encoding changes (downstream stages are invalidated
+automatically through digest chaining).
+"""
+
+from .keys import (
+    CANONICAL_FORM_VERSION,
+    artifact_cache_key,
+    canonical_body_form,
+    canonical_wcla_form,
+    content_digest,
+)
+from .artifacts import (
+    CadArtifactCache,
+    CadArtifacts,
+    CapacityRejection,
+    is_negative_artifact,
+)
+from .flow import (
+    DEFAULT_STAGE_NAMES,
+    SOURCE_BUNDLE,
+    SOURCE_HIT,
+    SOURCE_MISS,
+    SOURCE_NEGATIVE,
+    SOURCE_UNCACHED,
+    CadFlow,
+    DpmCostModel,
+    FlowContext,
+    FlowError,
+    FlowStage,
+    KernelDoesNotFitError,
+    KernelRejectedError,
+    StageRecord,
+    available_stage_names,
+    build_flow,
+    build_stage,
+    register_stage,
+    validate_job_stage_names,
+)
+from .stages import (
+    BinaryUpdateStage,
+    DecompileStage,
+    ImplementationStage,
+    PlacementStage,
+    RouteStage,
+    SynthesisStage,
+)
+
+__all__ = [
+    "CANONICAL_FORM_VERSION",
+    "artifact_cache_key",
+    "canonical_body_form",
+    "canonical_wcla_form",
+    "content_digest",
+    "CadArtifactCache",
+    "CadArtifacts",
+    "CapacityRejection",
+    "is_negative_artifact",
+    "DEFAULT_STAGE_NAMES",
+    "SOURCE_BUNDLE",
+    "SOURCE_HIT",
+    "SOURCE_MISS",
+    "SOURCE_NEGATIVE",
+    "SOURCE_UNCACHED",
+    "CadFlow",
+    "DpmCostModel",
+    "FlowContext",
+    "FlowError",
+    "FlowStage",
+    "KernelDoesNotFitError",
+    "KernelRejectedError",
+    "StageRecord",
+    "available_stage_names",
+    "build_flow",
+    "build_stage",
+    "register_stage",
+    "validate_job_stage_names",
+    "BinaryUpdateStage",
+    "DecompileStage",
+    "ImplementationStage",
+    "PlacementStage",
+    "RouteStage",
+    "SynthesisStage",
+]

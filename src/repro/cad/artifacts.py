@@ -1,0 +1,180 @@
+"""CAD artifact types and the two-level content-addressed cache.
+
+The expensive part of a warp job is not the simulation — it is the CAD
+flow the dynamic partitioning module runs for each critical region.  Two
+jobs that partition *the same loop body* onto *the same WCLA* produce
+identical artifacts, no matter which benchmark instance, processor core or
+sweep configuration the loop came from.  :class:`CadArtifactCache`
+memoizes that work at two granularities:
+
+* **whole bundle** — the legacy fast path: one lookup per partitioning
+  under :func:`~repro.cad.keys.artifact_cache_key` serves all four stage
+  outputs at once on an exact (kernel, WCLA) repeat.  The ``hits`` /
+  ``misses`` / ``counters()`` accounting of this level is unchanged from
+  the pre-staged cache, so per-job cache deltas keep meaning "one lookup
+  per partitioning";
+* **per stage** — each :class:`~repro.cad.flow.FlowStage` stores its
+  output under its own content address.  A sweep that changes only a
+  routing-relevant parameter misses the bundle but still serves synthesis
+  and placement from the stage entries.  Per-stage hit/miss counts are
+  kept separately (:meth:`CadArtifactCache.stage_counters`).
+
+Capacity rejections are memoized too: a kernel that exceeds the fabric
+(:class:`~repro.fabric.place.FabricCapacityError`, or a placement whose
+``area.fits`` is false) stores a :class:`CapacityRejection` marker (or the
+non-fitting placement itself) under the same stage address, so repeated
+jobs skip re-running synthesis and placement just to fail again.  Serving
+a memoized negative increments the distinct ``negative_hits`` counter.
+
+Per-run quantities — the binary patch and the modelled on-chip
+partitioning time, which depend on the region's concrete addresses — stay
+outside the cache.  Both levels sit on the repo-wide
+:class:`repro.caching.BoundedLRU` (one eviction/accounting implementation,
+one explicit ``clear()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..caching import BoundedLRU
+from ..decompile.kernel import HardwareKernel
+from ..fabric.architecture import WclaParameters
+from ..fabric.implementation import HardwareImplementation
+from ..fabric.place import PlacementResult
+from ..fabric.route import RoutingResult
+from ..synthesis.datapath import SynthesisResult
+from .keys import artifact_cache_key
+
+
+@dataclass
+class CadArtifacts:
+    """The four memoized stage outputs of one (kernel, WCLA) content."""
+
+    synthesis: SynthesisResult
+    placement: PlacementResult
+    routing: RoutingResult
+    implementation: HardwareImplementation
+
+
+@dataclass(frozen=True)
+class CapacityRejection:
+    """Memoized negative result: this content exceeds the fabric capacity."""
+
+    message: str
+
+
+def is_negative_artifact(value: object) -> bool:
+    """Whether a cached stage value records a capacity rejection.
+
+    Only the placement stage's outputs qualify: a rejection marker, or a
+    placement that completed but does not fit.  Downstream artifacts that
+    merely *reference* a non-fitting placement (an implementation's
+    ``area`` proxies it) must not count the same rejection again.
+    """
+    if isinstance(value, CapacityRejection):
+        return True
+    return isinstance(value, PlacementResult) and not value.area.fits
+
+
+class CadArtifactCache:
+    """Bounded content-addressed store of CAD stage outputs and bundles.
+
+    One instance is typically shared per process: the serial service path
+    keeps a module-level instance, every pool worker owns its own (warmed
+    for the worker's lifetime), and a
+    :class:`~repro.warp.multiprocessor.MultiProcessorWarpSystem` shares one
+    across its cores, mirroring the paper's single DPM serving all
+    processors.
+
+    ``bundle_fast_path=False`` disables the whole-bundle lookup (stores
+    still happen), forcing every partitioning through the per-stage
+    entries — useful for differential tests of the staged path.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 256,
+                 stage_maxsize: Optional[int] = 1024,
+                 bundle_fast_path: bool = True):
+        self._bundle = BoundedLRU(maxsize)
+        self._stages = BoundedLRU(stage_maxsize)
+        self.bundle_fast_path = bundle_fast_path
+        self._stage_hits: Dict[str, int] = {}
+        self._stage_misses: Dict[str, int] = {}
+        self.negative_hits = 0
+
+    # ----------------------------------------------------------------- bundle
+    def key_for(self, kernel: HardwareKernel, wcla: WclaParameters,
+                flow_token: str = "", body_form: str = None) -> str:
+        return artifact_cache_key(kernel, wcla, flow_token,
+                                  body_form=body_form)
+
+    def lookup(self, key: str) -> Optional[CadArtifacts]:
+        """Fetch a whole bundle by key, counting a hit or a miss."""
+        return self._bundle.get(key)
+
+    def store(self, key: str, artifacts: CadArtifacts) -> None:
+        self._bundle.put(key, artifacts)
+
+    # ----------------------------------------------------------------- stages
+    def stage_lookup(self, stage: str, key: str) -> Optional[object]:
+        """Fetch one stage's output, counting per-stage (and negative) hits."""
+        value = self._stages.get(f"{stage}\x00{key}")
+        if value is None:
+            self._stage_misses[stage] = self._stage_misses.get(stage, 0) + 1
+            return None
+        self._stage_hits[stage] = self._stage_hits.get(stage, 0) + 1
+        if is_negative_artifact(value):
+            self.negative_hits += 1
+        return value
+
+    def stage_store(self, stage: str, key: str, value: object) -> None:
+        self._stages.put(f"{stage}\x00{key}", value)
+
+    def clear(self) -> None:
+        self._bundle.clear()
+        self._stages.clear()
+        self._stage_hits.clear()
+        self._stage_misses.clear()
+        self.negative_hits = 0
+
+    # -------------------------------------------------------------- accounting
+    def __len__(self) -> int:
+        return len(self._bundle) + len(self._stages)
+
+    @property
+    def hits(self) -> int:
+        """Bundle-level hits (one lookup per partitioning)."""
+        return self._bundle.hits
+
+    @property
+    def misses(self) -> int:
+        return self._bundle.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._bundle.hit_rate
+
+    def counters(self) -> Tuple[int, int]:
+        """Bundle-level ``(hits, misses)`` for per-job delta accounting."""
+        return self._bundle.counters()
+
+    def stage_counters(self) -> Dict[str, Tuple[int, int]]:
+        """Per-stage ``{stage: (hits, misses)}`` snapshot."""
+        stages = sorted(set(self._stage_hits) | set(self._stage_misses))
+        return {stage: (self._stage_hits.get(stage, 0),
+                        self._stage_misses.get(stage, 0))
+                for stage in stages}
+
+    def stats(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "negative_hits": self.negative_hits,
+            "bundle": self._bundle.stats(),
+            "stages": self._stages.stats(),
+            "per_stage": {stage: {"hits": hits, "misses": misses}
+                          for stage, (hits, misses)
+                          in self.stage_counters().items()},
+        }

@@ -1,0 +1,422 @@
+"""The pass-pipeline driver of the on-chip CAD flow.
+
+A :class:`CadFlow` is an ordered sequence of :class:`FlowStage` passes —
+decompile, synthesis/tech-map, placement, routing, implementation, binary
+update by default — threaded through one :class:`FlowContext` that carries
+the typed artifacts from stage to stage.  The driver owns everything the
+stages have in common:
+
+* **per-stage caching** — a stage that contributes a content key is served
+  from the :class:`~repro.cad.artifacts.CadArtifactCache`'s stage entries,
+  with capacity rejections memoized as negatives; a whole-bundle fast path
+  serves exact repeats in one lookup;
+* **accounting** — every stage leaves a :class:`StageRecord` with its host
+  wall time, its modelled on-chip cycles (the
+  :class:`DpmCostModel` contribution that used to be summed centrally),
+  and how it was satisfied (``miss``/``hit``/``bundle``/``negative-hit``/
+  ``uncached``);
+* **tracing** — hooks invoked after every stage record;
+* **failure mapping** — domain errors are wrapped in :class:`FlowError`
+  (keeping the failing stage's name and the original cause) so the DPM can
+  translate them into the exact legacy outcome shapes.
+
+Alternate passes register under the stage registry
+(:func:`register_stage`) and are selected per flow — and, through
+:class:`~repro.service.jobs.WarpJob.stages`, per service job — by name via
+:func:`build_flow`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..decompile.kernel import HardwareKernel
+from ..decompile.symexec import SymbolicLoopBody
+from ..fabric.architecture import WclaParameters
+from ..fabric.implementation import HardwareImplementation
+from ..fabric.place import PlacementResult
+from ..fabric.route import RoutingResult
+from ..synthesis.datapath import SynthesisResult
+from .artifacts import CadArtifactCache, CadArtifacts, CapacityRejection, \
+    is_negative_artifact
+from .keys import canonical_body_form
+
+
+# --------------------------------------------------------------------------- cost model
+@dataclass
+class DpmCostModel:
+    """Analytical execution-time model of the on-chip tools themselves.
+
+    The companion papers report that the lean tools run in about a second on
+    a modest embedded processor; the per-phase constants below reproduce
+    that order of magnitude as a function of problem size so the
+    multi-processor round-robin study has something meaningful to add up.
+    Each :class:`FlowStage` reads its own constant and reports its modelled
+    cycles; :meth:`partitioning_cycles` remains as the closed-form sum over
+    the default stages.
+    """
+
+    clock_mhz: float = 85.0
+    cycles_per_decompiled_instruction: int = 40_000
+    cycles_per_synthesized_lut: int = 6_000
+    cycles_per_placed_component: int = 25_000
+    cycles_per_routed_segment: int = 3_000
+    fixed_overhead_cycles: int = 2_000_000
+
+    def partitioning_cycles(self, kernel: HardwareKernel,
+                            synthesis: SynthesisResult,
+                            placement: PlacementResult,
+                            routing: RoutingResult) -> int:
+        cycles = self.fixed_overhead_cycles
+        cycles += kernel.region.num_instructions * self.cycles_per_decompiled_instruction
+        cycles += synthesis.total_luts * self.cycles_per_synthesized_lut
+        cycles += len(placement.components) * self.cycles_per_placed_component
+        cycles += routing.total_segments_used * self.cycles_per_routed_segment
+        return cycles
+
+    def partitioning_seconds(self, kernel: HardwareKernel,
+                             synthesis: SynthesisResult,
+                             placement: PlacementResult,
+                             routing: RoutingResult) -> float:
+        return self.partitioning_cycles(kernel, synthesis, placement, routing) \
+            / (self.clock_mhz * 1e6)
+
+
+# --------------------------------------------------------------------------- errors
+class FlowError(Exception):
+    """A stage failed; carries the stage name and the domain-level cause."""
+
+    def __init__(self, stage: str, cause: BaseException):
+        super().__init__(f"CAD flow stage {stage!r} failed: {cause}")
+        self.stage = stage
+        self.cause = cause
+
+
+class KernelRejectedError(Exception):
+    """The decompiled kernel is not partitionable (no induction variable,
+    irregular memory access pattern, ...)."""
+
+
+class KernelDoesNotFitError(Exception):
+    """The placed kernel exceeds the configurable fabric's capacity."""
+
+
+# --------------------------------------------------------------------------- records
+#: How a stage was satisfied.
+SOURCE_MISS = "miss"                  # executed; cache consulted and stored
+SOURCE_HIT = "hit"                    # served from a per-stage cache entry
+SOURCE_BUNDLE = "bundle"              # served by the whole-bundle fast path
+SOURCE_NEGATIVE = "negative-hit"      # memoized capacity rejection replayed
+SOURCE_UNCACHED = "uncached"          # executed; no cache or uncacheable
+
+
+@dataclass
+class StageRecord:
+    """Accounting left behind by one stage of one flow run."""
+
+    stage: str
+    source: str = SOURCE_UNCACHED
+    wall_seconds: float = 0.0
+    modelled_cycles: int = 0
+    modelled_seconds: float = 0.0
+    key: Optional[str] = None
+    in_bundle: bool = False
+    failed: bool = False
+
+
+# --------------------------------------------------------------------------- context
+@dataclass
+class FlowContext:
+    """Mutable state threaded through one flow run.
+
+    Stages read their inputs from — and install their outputs into — this
+    context; the driver adds the cache bookkeeping (``digests`` chains the
+    per-stage content addresses) and the :class:`StageRecord` trail.
+    """
+
+    wcla: WclaParameters
+    wcla_base_address: int
+    cost_model: DpmCostModel
+    cache: Optional[CadArtifactCache] = None
+    program: Optional[object] = None
+    region: Optional[object] = None
+    # ------------------------------------------------------- typed artifacts
+    body: Optional[SymbolicLoopBody] = None
+    kernel: Optional[HardwareKernel] = None
+    synthesis: Optional[SynthesisResult] = None
+    placement: Optional[PlacementResult] = None
+    routing: Optional[RoutingResult] = None
+    implementation: Optional[HardwareImplementation] = None
+    patch: Optional[object] = None
+    # ---------------------------------------------------------- bookkeeping
+    digests: Dict[str, str] = field(default_factory=dict)
+    records: List[StageRecord] = field(default_factory=list)
+    bundle_key: Optional[str] = None
+    bundle_hit: bool = False
+    _body_form: Optional[str] = field(default=None, repr=False)
+
+    def body_form(self) -> str:
+        """The kernel's canonical DADG form, serialized once per run (both
+        the bundle key and the synthesis stage key consume it)."""
+        if self._body_form is None:
+            self._body_form = canonical_body_form(self.kernel.body)
+        return self._body_form
+
+    # ------------------------------------------------------------ accounting
+    def modelled_cycles(self) -> int:
+        """Total modelled DPM cycles: fixed overhead + per-stage sums."""
+        return self.cost_model.fixed_overhead_cycles \
+            + sum(record.modelled_cycles for record in self.records)
+
+    def modelled_seconds(self) -> float:
+        return self.modelled_cycles() / (self.cost_model.clock_mhz * 1e6)
+
+    def served_from_cache(self) -> bool:
+        """Whether every CAD artifact came out of the cache (bundle fast
+        path or a full chain of per-stage hits)."""
+        if self.bundle_hit:
+            return True
+        bundle = [record for record in self.records if record.in_bundle]
+        return bool(bundle) and all(record.source in (SOURCE_HIT, SOURCE_BUNDLE)
+                                    for record in bundle)
+
+
+# --------------------------------------------------------------------------- stages
+class FlowStage:
+    """One pass of the CAD flow.
+
+    Subclasses define the five aspects the driver composes:
+
+    * ``name`` — the slot this stage fills (``"route"`` for every router
+      variant); ``variant`` distinguishes alternates in the content key;
+    * :meth:`content_key` — the stage's content-address contribution, or
+      ``None`` for uncacheable stages (decompile, binary update).  Keys
+      chain the upstream digest from ``context.digests``;
+    * :meth:`compute` / :meth:`install` — produce the stage's value (may
+      raise a domain error) and write it into the context.  They are split
+      so a cached value installs without recomputing;
+    * :meth:`validate` — post-install checks (may raise a domain error);
+    * :meth:`modelled_cycles` — the stage's :class:`DpmCostModel`
+      contribution.
+
+    ``key_version`` participates in the content key: bump it when the
+    stage's algorithm or key encoding changes.  ``negative_exceptions``
+    lists domain errors worth memoizing as :class:`CapacityRejection`
+    markers under the same content address.
+    """
+
+    name: str = "stage"
+    variant: str = "default"
+    key_version: int = 1
+    in_bundle: bool = False
+    negative_exceptions: Tuple[type, ...] = ()
+
+    def cache_token(self) -> str:
+        """Stage identity prefix of the content key."""
+        return f"{self.name}/{self.variant}:v{self.key_version}"
+
+    def content_key(self, context: FlowContext) -> Optional[str]:
+        return None
+
+    def compute(self, context: FlowContext):
+        raise NotImplementedError
+
+    def install(self, context: FlowContext, value) -> None:
+        raise NotImplementedError
+
+    def validate(self, context: FlowContext) -> None:
+        return None
+
+    def modelled_cycles(self, context: FlowContext) -> int:
+        return 0
+
+    def negative_marker(self, error: BaseException) -> CapacityRejection:
+        return CapacityRejection(message=str(error))
+
+    def revive_negative(self, marker: CapacityRejection) -> BaseException:
+        raise NotImplementedError(
+            f"stage {self.name!r} memoizes no negative results")
+
+
+# --------------------------------------------------------------------------- driver
+TraceHook = Callable[[StageRecord, FlowContext], None]
+
+
+class CadFlow:
+    """Runs an ordered sequence of stages over one :class:`FlowContext`."""
+
+    def __init__(self, stages: Sequence[FlowStage],
+                 trace_hooks: Sequence[TraceHook] = ()):
+        self.stages = list(stages)
+        self.trace_hooks = list(trace_hooks)
+        self._last_bundle_stage: Optional[FlowStage] = None
+        for stage in self.stages:
+            if stage.in_bundle:
+                self._last_bundle_stage = stage
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def bundle_token(self) -> str:
+        """Identity of the bundled passes, part of the whole-bundle key:
+        flows with different stage variants (or key versions) never share
+        a bundle entry."""
+        return "|".join(stage.cache_token() for stage in self.stages
+                        if stage.in_bundle)
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        self.trace_hooks.append(hook)
+
+    # --------------------------------------------------------------------- run
+    def run(self, context: FlowContext) -> FlowContext:
+        """Execute every stage in order; raises :class:`FlowError` on the
+        first failure (the context keeps the partial artifacts and the
+        records of every stage attempted)."""
+        for stage in self.stages:
+            self._run_stage(stage, context)
+        return context
+
+    def _run_stage(self, stage: FlowStage, context: FlowContext) -> None:
+        start = time.perf_counter()
+        record = StageRecord(stage=stage.name, in_bundle=stage.in_bundle)
+        try:
+            cache = context.cache
+            if stage.in_bundle and cache is not None \
+                    and context.bundle_key is None:
+                self._try_bundle(context)
+            if stage.in_bundle and context.bundle_hit:
+                record.source = SOURCE_BUNDLE
+                return
+            key = stage.content_key(context) if cache is not None else None
+            record.key = key
+            if key is not None:
+                context.digests[stage.name] = key
+                cached = cache.stage_lookup(stage.name, key)
+                if isinstance(cached, CapacityRejection):
+                    record.source = SOURCE_NEGATIVE
+                    raise stage.revive_negative(cached)
+                if cached is not None:
+                    record.source = SOURCE_NEGATIVE \
+                        if is_negative_artifact(cached) else SOURCE_HIT
+                    stage.install(context, cached)
+                else:
+                    record.source = SOURCE_MISS
+                    value = self._compute(stage, context, key)
+                    cache.stage_store(stage.name, key, value)
+                    stage.install(context, value)
+            else:
+                record.source = SOURCE_UNCACHED
+                stage.install(context, self._compute(stage, context, None))
+            stage.validate(context)
+            if stage is self._last_bundle_stage:
+                self._store_bundle(context)
+        except FlowError:
+            record.failed = True
+            raise
+        except Exception as error:
+            record.failed = True
+            raise FlowError(stage.name, error) from error
+        finally:
+            record.wall_seconds = time.perf_counter() - start
+            if not record.failed:
+                record.modelled_cycles = stage.modelled_cycles(context)
+                record.modelled_seconds = record.modelled_cycles \
+                    / (context.cost_model.clock_mhz * 1e6)
+            context.records.append(record)
+            for hook in self.trace_hooks:
+                hook(record, context)
+
+    def _compute(self, stage: FlowStage, context: FlowContext,
+                 key: Optional[str]):
+        try:
+            return stage.compute(context)
+        except stage.negative_exceptions as error:
+            if key is not None:
+                context.cache.stage_store(stage.name, key,
+                                          stage.negative_marker(error))
+            raise
+
+    # ------------------------------------------------------------ bundle path
+    def _try_bundle(self, context: FlowContext) -> None:
+        context.bundle_key = context.cache.key_for(
+            context.kernel, context.wcla, self.bundle_token(),
+            body_form=context.body_form())
+        if not context.cache.bundle_fast_path:
+            return
+        artifacts = context.cache.lookup(context.bundle_key)
+        if artifacts is not None:
+            context.bundle_hit = True
+            context.synthesis = artifacts.synthesis
+            context.placement = artifacts.placement
+            context.routing = artifacts.routing
+            context.implementation = artifacts.implementation
+
+    def _store_bundle(self, context: FlowContext) -> None:
+        """Memoize the whole bundle after the last CAD stage (only fitting
+        bundles are stored, so a bundle hit implies the kernel fits)."""
+        cache = context.cache
+        if cache is None or context.bundle_hit or context.bundle_key is None:
+            return
+        if context.placement is None or not context.placement.area.fits:
+            return
+        cache.store(context.bundle_key, CadArtifacts(
+            synthesis=context.synthesis, placement=context.placement,
+            routing=context.routing, implementation=context.implementation))
+
+
+# --------------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Callable[[], FlowStage]] = {}
+
+#: The paper's lean on-chip flow, in order.
+DEFAULT_STAGE_NAMES = ("decompile", "synthesis", "place", "route",
+                       "implement", "binary-update")
+
+
+def register_stage(name: str, factory: Callable[[], FlowStage]) -> None:
+    """Register a stage (or an alternate variant) under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"stage {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_stage_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_stage(name: str) -> FlowStage:
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(f"unknown CAD stage {name!r}; available: "
+                         f"{available_stage_names()}")
+    return factory()
+
+
+def build_flow(stage_names: Optional[Sequence[str]] = None,
+               trace_hooks: Sequence[TraceHook] = ()) -> CadFlow:
+    """Assemble a :class:`CadFlow` from registered stage names (the
+    default flow when ``stage_names`` is ``None``)."""
+    names = DEFAULT_STAGE_NAMES if stage_names is None else tuple(stage_names)
+    return CadFlow([build_stage(name) for name in names],
+                   trace_hooks=trace_hooks)
+
+
+def validate_job_stage_names(stage_names: Sequence[str]) -> None:
+    """Check a *declarative* stage list (a job spec) fills every slot of
+    the default pipeline, in order.
+
+    Registered alternates swap within a slot (``route-greedy`` still fills
+    the ``route`` slot), but the stages feed each other through the
+    :class:`FlowContext`, so a list that omits or reorders slots would only
+    fail deep inside a worker with a cryptic attribute error.  Raises
+    :class:`ValueError` naming the offending list instead.  Programmatic
+    flows built directly from :class:`CadFlow` stay unconstrained.
+    """
+    slots = tuple(build_stage(name).name for name in stage_names)
+    if slots != DEFAULT_STAGE_NAMES:
+        raise ValueError(
+            f"stage list {tuple(stage_names)} fills slots {slots}; a job's "
+            f"flow must fill the slots {DEFAULT_STAGE_NAMES} in order "
+            f"(alternates swap within a slot, e.g. 'route-greedy' for "
+            f"'route')")

@@ -1,0 +1,228 @@
+"""Concrete passes of the on-chip CAD flow, plus registered alternates.
+
+Each stage declares exactly what it consumes in its content key:
+
+* ``synthesis`` — the kernel's canonical DADG form plus the two parameters
+  :func:`~repro.synthesis.datapath.synthesize_kernel` reads (LUT input
+  count, memory ports);
+* ``place`` — the synthesis digest plus the fabric geometry the placer
+  reads (rows, columns, LUTs per CLB);
+* ``route`` — the placement digest plus the channel capacity (and the
+  router's iteration bound, so the greedy variant never collides with the
+  negotiated-congestion default);
+* ``implement`` — the routing digest plus the full WCLA (every timing
+  constant shapes the clock estimate).
+
+``decompile`` and ``binary-update`` are uncacheable: both depend on the
+region's concrete byte addresses, which the content addresses deliberately
+exclude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..decompile.kernel import extract_kernel
+from ..decompile.symexec import decompile_region
+from ..fabric.place import FabricCapacityError, place_kernel
+from ..fabric.route import PathfinderLiteRouter
+from ..fabric.implementation import implement_kernel
+from ..synthesis.datapath import synthesize_kernel
+from .artifacts import CapacityRejection
+from .flow import (
+    FlowContext,
+    FlowStage,
+    KernelDoesNotFitError,
+    KernelRejectedError,
+    register_stage,
+)
+from .keys import canonical_wcla_form, content_digest
+
+
+# --------------------------------------------------------------------------- decompile
+class DecompileStage(FlowStage):
+    """Symbolic execution of the critical region into a kernel descriptor.
+
+    Uncacheable: it reads the program text at the region's concrete
+    addresses.  It is also the gate — a kernel the WCLA cannot host
+    (no induction variable, irregular accesses) stops the flow here.
+    """
+
+    name = "decompile"
+
+    def compute(self, context: FlowContext):
+        body = decompile_region(context.program.text, context.region)
+        return body, extract_kernel(body)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.body, context.kernel = value
+
+    def validate(self, context: FlowContext) -> None:
+        if not context.kernel.partitionable:
+            raise KernelRejectedError(context.kernel.rejection_reason)
+
+    def modelled_cycles(self, context: FlowContext) -> int:
+        if context.kernel is None:
+            return 0
+        return context.kernel.region.num_instructions \
+            * context.cost_model.cycles_per_decompiled_instruction
+
+
+# --------------------------------------------------------------------------- synthesis
+class SynthesisStage(FlowStage):
+    """Datapath synthesis and technology mapping onto the WCLA."""
+
+    name = "synthesis"
+    in_bundle = True
+
+    def content_key(self, context: FlowContext) -> Optional[str]:
+        fabric = context.wcla.fabric
+        return content_digest(self.cache_token(),
+                              context.body_form(),
+                              f"lut_inputs={fabric.lut_inputs}",
+                              f"memory_ports={context.wcla.memory_ports}")
+
+    def compute(self, context: FlowContext):
+        return synthesize_kernel(context.kernel,
+                                 lut_inputs=context.wcla.fabric.lut_inputs,
+                                 memory_ports=context.wcla.memory_ports)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.synthesis = value
+
+    def modelled_cycles(self, context: FlowContext) -> int:
+        if context.synthesis is None:
+            return 0
+        return context.synthesis.total_luts \
+            * context.cost_model.cycles_per_synthesized_lut
+
+
+# --------------------------------------------------------------------------- placement
+class PlacementStage(FlowStage):
+    """Greedy constructive placement on the fabric's CLB grid.
+
+    Capacity rejections are memoized: both a
+    :class:`~repro.fabric.place.FabricCapacityError` (no free sites) and a
+    completed-but-oversubscribed placement are negatives served from the
+    cache on repeats.
+    """
+
+    name = "place"
+    in_bundle = True
+    negative_exceptions = (FabricCapacityError,)
+
+    def content_key(self, context: FlowContext) -> Optional[str]:
+        fabric = context.wcla.fabric
+        return content_digest(self.cache_token(),
+                              context.digests["synthesis"],
+                              f"rows={fabric.rows}",
+                              f"columns={fabric.columns}",
+                              f"luts_per_clb={fabric.luts_per_clb}")
+
+    def compute(self, context: FlowContext):
+        return place_kernel(context.synthesis, context.wcla)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.placement = value
+
+    def revive_negative(self, marker: CapacityRejection) -> BaseException:
+        return FabricCapacityError(marker.message)
+
+    def modelled_cycles(self, context: FlowContext) -> int:
+        if context.placement is None:
+            return 0
+        return len(context.placement.components) \
+            * context.cost_model.cycles_per_placed_component
+
+
+# --------------------------------------------------------------------------- routing
+class RouteStage(FlowStage):
+    """Negotiated-congestion routing ("Pathfinder-lite") of the placed nets.
+
+    ``route-greedy`` registers the single-pass variant (``max_iterations=1``,
+    no rip-up-and-reroute) under the same stage slot; its ``variant`` tag
+    keeps the two routers' cache entries apart.
+    """
+
+    name = "route"
+    in_bundle = True
+
+    def __init__(self, variant: str = "default", max_iterations: int = 4):
+        self.variant = variant
+        self.max_iterations = max_iterations
+
+    def content_key(self, context: FlowContext) -> Optional[str]:
+        return content_digest(self.cache_token(),
+                              context.digests["place"],
+                              f"channel_width={context.wcla.fabric.channel_width}",
+                              f"max_iterations={self.max_iterations}")
+
+    def compute(self, context: FlowContext):
+        router = PathfinderLiteRouter(context.wcla.fabric,
+                                      max_iterations=self.max_iterations)
+        return router.route(context.placement)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.routing = value
+
+    def modelled_cycles(self, context: FlowContext) -> int:
+        if context.routing is None:
+            return 0
+        return context.routing.total_segments_used \
+            * context.cost_model.cycles_per_routed_segment
+
+
+# --------------------------------------------------------------------------- implementation
+class ImplementationStage(FlowStage):
+    """Clock estimation and the symbolic configuration bitstream."""
+
+    name = "implement"
+    in_bundle = True
+
+    def content_key(self, context: FlowContext) -> Optional[str]:
+        return content_digest(self.cache_token(),
+                              context.digests["route"],
+                              canonical_wcla_form(context.wcla))
+
+    def compute(self, context: FlowContext):
+        return implement_kernel(context.kernel, context.synthesis,
+                                context.placement, context.routing,
+                                context.wcla)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.implementation = value
+
+
+# --------------------------------------------------------------------------- binary update
+class BinaryUpdateStage(FlowStage):
+    """Patch the running binary to invoke the new hardware.
+
+    Uncacheable (the stub is linked at the region's concrete addresses),
+    and gated on the area check: a kernel that does not fit the fabric is
+    never patched in.
+    """
+
+    name = "binary-update"
+
+    def compute(self, context: FlowContext):
+        if not context.placement.area.fits:
+            raise KernelDoesNotFitError("kernel does not fit the fabric")
+        # Imported lazily: repro.partition drives this flow, so a module
+        # level import here would be circular.
+        from ..partition.binary_patch import apply_patch
+        return apply_patch(context.program, context.kernel,
+                           wcla_base=context.wcla_base_address)
+
+    def install(self, context: FlowContext, value) -> None:
+        context.patch = value
+
+
+# --------------------------------------------------------------------------- registry
+register_stage("decompile", DecompileStage)
+register_stage("synthesis", SynthesisStage)
+register_stage("place", PlacementStage)
+register_stage("route", RouteStage)
+register_stage("route-greedy",
+               lambda: RouteStage(variant="greedy", max_iterations=1))
+register_stage("implement", ImplementationStage)
+register_stage("binary-update", BinaryUpdateStage)

@@ -117,6 +117,39 @@ class EvaluationSuite:
                                    for name in PLATFORM_ORDER]
         return format_table(headers, self.figure7_rows(), float_format="{:.3f}")
 
+    # ------------------------------------------------------------- CAD stages
+    def cad_stage_order(self) -> List[str]:
+        """CAD flow stage names in flow order (union across benchmarks)."""
+        order: List[str] = []
+        for item in self.evaluations:
+            for record in item.warp.partitioning.stage_records:
+                if record.stage not in order:
+                    order.append(record.stage)
+        return order
+
+    def cad_stage_rows(self) -> List[List[object]]:
+        """Per-benchmark modelled on-chip time (ms) of each CAD flow stage.
+
+        The per-stage breakdown of the ~1 s on-chip tool time the paper
+        reports: each cell is the stage's :class:`~repro.cad.DpmCostModel`
+        contribution for that benchmark's kernel (host-side cache hits do
+        not change it).  Row shape follows :func:`metric_rows`, like the
+        Figure 6/7 tables.
+        """
+        order = self.cad_stage_order()
+        entries = []
+        for item in self.evaluations:
+            per_stage = {stage: 0.0 for stage in order}
+            for record in item.warp.partitioning.stage_records:
+                per_stage[record.stage] += record.modelled_seconds * 1e3
+            entries.append((item.benchmark.name, per_stage))
+        return metric_rows(entries, order)
+
+    def cad_stage_table(self) -> str:
+        headers = ["Benchmark"] + [f"{name} (ms)"
+                                   for name in self.cad_stage_order()]
+        return format_table(headers, self.cad_stage_rows())
+
     # ----------------------------------------------------------- aggregate claims
     def _mean_over(self, metric, names: Optional[Sequence[str]] = None) -> float:
         selected = [item for item in self.evaluations

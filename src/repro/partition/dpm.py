@@ -10,60 +10,43 @@ MicroBlaze with its own memories; we model the tool *flow* exactly and the
 DPM's own execution time analytically (so studies of how long on-chip CAD
 takes, and whether one DPM can serve several processors round-robin, remain
 possible).
+
+The flow itself lives in :mod:`repro.cad`: an explicit pass pipeline
+(decompile → synthesis → place → route → implement → binary update) with
+per-stage content-addressed caching, per-stage host wall time and modelled
+DPM cycles, and a registry of alternate passes.  This module is the thin
+driver that runs one :class:`~repro.cad.CadFlow` per critical region and
+translates stage failures into :class:`PartitioningOutcome` records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from ..decompile.kernel import HardwareKernel, extract_kernel
-from ..decompile.symexec import DecompilationError, decompile_region
+from ..cad import (
+    CadFlow,
+    DpmCostModel,
+    FlowContext,
+    FlowError,
+    KernelDoesNotFitError,
+    KernelRejectedError,
+    StageRecord,
+    build_flow,
+)
+from ..decompile.kernel import HardwareKernel
+from ..decompile.symexec import DecompilationError
 from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
-from ..fabric.implementation import HardwareImplementation, implement_kernel
-from ..fabric.place import FabricCapacityError, PlacementResult, place_kernel
-from ..fabric.route import RoutingResult, route_kernel
+from ..fabric.implementation import HardwareImplementation
+from ..fabric.place import FabricCapacityError, PlacementResult
+from ..fabric.route import RoutingResult
 from ..isa.program import Program
 from ..microblaze.opb import OPB_BASE_ADDRESS
 from ..profiler.profiler import CriticalRegion
-from ..synthesis.datapath import SynthesisResult, synthesize_kernel
-from .binary_patch import BinaryPatch, PatchError, apply_patch
+from ..synthesis.datapath import SynthesisResult
+from .binary_patch import BinaryPatch, PatchError
 
-
-@dataclass
-class DpmCostModel:
-    """Analytical execution-time model of the on-chip tools themselves.
-
-    The companion papers report that the lean tools run in about a second on
-    a modest embedded processor; the per-phase constants below reproduce
-    that order of magnitude as a function of problem size so the
-    multi-processor round-robin study has something meaningful to add up.
-    """
-
-    clock_mhz: float = 85.0
-    cycles_per_decompiled_instruction: int = 40_000
-    cycles_per_synthesized_lut: int = 6_000
-    cycles_per_placed_component: int = 25_000
-    cycles_per_routed_segment: int = 3_000
-    fixed_overhead_cycles: int = 2_000_000
-
-    def partitioning_cycles(self, kernel: HardwareKernel,
-                            synthesis: SynthesisResult,
-                            placement: PlacementResult,
-                            routing: RoutingResult) -> int:
-        cycles = self.fixed_overhead_cycles
-        cycles += kernel.region.num_instructions * self.cycles_per_decompiled_instruction
-        cycles += synthesis.total_luts * self.cycles_per_synthesized_lut
-        cycles += len(placement.components) * self.cycles_per_placed_component
-        cycles += routing.total_segments_used * self.cycles_per_routed_segment
-        return cycles
-
-    def partitioning_seconds(self, kernel: HardwareKernel,
-                             synthesis: SynthesisResult,
-                             placement: PlacementResult,
-                             routing: RoutingResult) -> float:
-        return self.partitioning_cycles(kernel, synthesis, placement, routing) \
-            / (self.clock_mhz * 1e6)
+__all__ = ["DpmCostModel", "DynamicPartitioningModule", "PartitioningOutcome"]
 
 
 @dataclass
@@ -87,6 +70,11 @@ class PartitioningOutcome:
     cad_cache_hit: bool = False
     #: Content address of the (kernel, WCLA) pair when a cache was in use.
     cad_cache_key: Optional[str] = None
+    #: Per-stage accounting of the flow run that produced this outcome:
+    #: host wall time, modelled DPM cycles, and how each stage was
+    #: satisfied (executed, per-stage cache hit, bundle fast path, memoized
+    #: capacity rejection).
+    stage_records: List[StageRecord] = field(default_factory=list)
 
     def summary(self) -> str:
         if not self.success:
@@ -103,24 +91,37 @@ class PartitioningOutcome:
 class DynamicPartitioningModule:
     """Runs the ROCPART flow for one program and one critical region.
 
-    ``artifact_cache`` (a
-    :class:`~repro.service.artifact_cache.CadArtifactCache`) memoizes the
-    synthesis / placement / routing / implementation outputs under a
-    content address of the kernel's dataflow graph and the WCLA
-    parameters: repeated partitioning of the same loop body — across
-    service jobs, across the cores of a multiprocessor system, across
-    sweep repetitions — skips the CAD flow entirely.  Without a cache the
-    flow always runs, exactly as before.
+    ``artifact_cache`` (a :class:`~repro.cad.CadArtifactCache`) memoizes
+    the CAD stage outputs under content addresses of the kernel's dataflow
+    graph and the WCLA parameters: repeated partitioning of the same loop
+    body — across service jobs, across the cores of a multiprocessor
+    system, across sweep repetitions — skips the CAD work, stage by stage
+    or (on an exact repeat) as a whole bundle.  Without a cache the flow
+    always runs, exactly as before.
+
+    The flow is pluggable: pass ``stage_names`` (registry names, e.g.
+    swapping ``"route"`` for ``"route-greedy"``) or a prebuilt ``flow`` to
+    replace passes; ``trace_hooks`` observe every stage record.
     """
 
     def __init__(self, wcla: WclaParameters = DEFAULT_WCLA,
                  wcla_base_address: int = OPB_BASE_ADDRESS,
                  cost_model: Optional[DpmCostModel] = None,
-                 artifact_cache=None):
+                 artifact_cache=None,
+                 flow: Optional[CadFlow] = None,
+                 stage_names: Optional[Sequence[str]] = None,
+                 trace_hooks: Sequence = ()):
+        if flow is not None and (stage_names is not None
+                                 or len(tuple(trace_hooks)) > 0):
+            raise ValueError("pass either a prebuilt flow or the "
+                             "stage_names/trace_hooks it would be built "
+                             "with, not both")
         self.wcla = wcla
         self.wcla_base_address = wcla_base_address
         self.cost_model = cost_model if cost_model is not None else DpmCostModel()
         self.artifact_cache = artifact_cache
+        self.flow = flow if flow is not None \
+            else build_flow(stage_names, trace_hooks=trace_hooks)
 
     def partition(self, program: Program,
                   region: Optional[CriticalRegion]) -> PartitioningOutcome:
@@ -133,79 +134,76 @@ class DynamicPartitioningModule:
         if region is None:
             return PartitioningOutcome(success=False, region=None,
                                        reason="profiler found no critical region")
+        context = FlowContext(
+            wcla=self.wcla,
+            wcla_base_address=self.wcla_base_address,
+            cost_model=self.cost_model,
+            cache=self.artifact_cache,
+            program=program,
+            region=region,
+        )
         try:
-            body = decompile_region(program.text, region)
-            kernel = extract_kernel(body)
-        except DecompilationError as error:
-            return PartitioningOutcome(success=False, region=region,
-                                       reason=f"decompilation failed: {error}")
-        if not kernel.partitionable:
-            return PartitioningOutcome(success=False, region=region,
-                                       reason=kernel.rejection_reason, kernel=kernel)
-
-        cache = self.artifact_cache
-        cache_key: Optional[str] = None
-        cache_hit = False
-        artifacts = None
-        if cache is not None:
-            cache_key = cache.key_for(kernel, self.wcla)
-            artifacts = cache.lookup(cache_key)
-        if artifacts is not None:
-            # Content hit: the whole on-chip CAD flow (synthesis, mapping,
-            # placement, routing, implementation) is skipped.  Only fitting
-            # bundles are ever stored, so a hit implies the kernel fits.
-            cache_hit = True
-            synthesis = artifacts.synthesis
-            placement = artifacts.placement
-            routing = artifacts.routing
-            implementation = artifacts.implementation
-        else:
-            synthesis = synthesize_kernel(kernel,
-                                          lut_inputs=self.wcla.fabric.lut_inputs,
-                                          memory_ports=self.wcla.memory_ports)
-            try:
-                placement = place_kernel(synthesis, self.wcla)
-            except FabricCapacityError as error:
-                return PartitioningOutcome(success=False, region=region,
-                                           reason=str(error), kernel=kernel,
-                                           synthesis=synthesis,
-                                           cad_cache_key=cache_key)
-            routing = route_kernel(placement, self.wcla)
-            implementation = implement_kernel(kernel, synthesis, placement,
-                                              routing, self.wcla)
-            if cache is not None and placement.area.fits:
-                from ..service.artifact_cache import CadArtifacts
-                cache.store(cache_key, CadArtifacts(
-                    synthesis=synthesis, placement=placement,
-                    routing=routing, implementation=implementation))
-        if not placement.area.fits:
-            return PartitioningOutcome(success=False, region=region,
-                                       reason="kernel does not fit the fabric",
-                                       kernel=kernel, synthesis=synthesis,
-                                       placement=placement, routing=routing,
-                                       cad_cache_key=cache_key)
-        try:
-            patch = apply_patch(program, kernel, wcla_base=self.wcla_base_address)
-        except PatchError as error:
-            return PartitioningOutcome(success=False, region=region,
-                                       reason=f"binary update failed: {error}",
-                                       kernel=kernel, synthesis=synthesis,
-                                       placement=placement, routing=routing,
-                                       implementation=implementation,
-                                       cad_cache_hit=cache_hit,
-                                       cad_cache_key=cache_key)
-        dpm_seconds = self.cost_model.partitioning_seconds(kernel, synthesis,
-                                                           placement, routing)
+            self.flow.run(context)
+        except FlowError as error:
+            return self._failure_outcome(context, error)
         return PartitioningOutcome(
             success=True,
             region=region,
-            kernel=kernel,
-            synthesis=synthesis,
-            placement=placement,
-            routing=routing,
-            implementation=implementation,
-            patch=patch,
-            dpm_seconds=dpm_seconds,
-            cad_cache_hit=cache_hit,
-            cad_cache_key=cache_key,
+            kernel=context.kernel,
+            synthesis=context.synthesis,
+            placement=context.placement,
+            routing=context.routing,
+            implementation=context.implementation,
+            patch=context.patch,
+            dpm_seconds=context.modelled_seconds(),
+            cad_cache_hit=context.served_from_cache(),
+            cad_cache_key=context.bundle_key,
+            stage_records=list(context.records),
         )
+
+    # ------------------------------------------------------------- failures
+    def _failure_outcome(self, context: FlowContext,
+                         error: FlowError) -> PartitioningOutcome:
+        """Translate a stage failure into the outcome shape the rest of the
+        system expects (the same fields the monolithic flow reported)."""
+        cause = error.cause
+        region = context.region
+        records = list(context.records)
+        if isinstance(cause, DecompilationError):
+            return PartitioningOutcome(
+                success=False, region=region,
+                reason=f"decompilation failed: {cause}",
+                stage_records=records)
+        if isinstance(cause, KernelRejectedError):
+            return PartitioningOutcome(
+                success=False, region=region,
+                reason=context.kernel.rejection_reason,
+                kernel=context.kernel, stage_records=records)
+        if isinstance(cause, FabricCapacityError):
+            return PartitioningOutcome(
+                success=False, region=region, reason=str(cause),
+                kernel=context.kernel, synthesis=context.synthesis,
+                cad_cache_key=context.bundle_key, stage_records=records)
+        if isinstance(cause, KernelDoesNotFitError):
+            return PartitioningOutcome(
+                success=False, region=region,
+                reason="kernel does not fit the fabric",
+                kernel=context.kernel, synthesis=context.synthesis,
+                placement=context.placement, routing=context.routing,
+                cad_cache_key=context.bundle_key, stage_records=records)
+        if isinstance(cause, PatchError):
+            return PartitioningOutcome(
+                success=False, region=region,
+                reason=f"binary update failed: {cause}",
+                kernel=context.kernel, synthesis=context.synthesis,
+                placement=context.placement, routing=context.routing,
+                implementation=context.implementation,
+                cad_cache_hit=context.served_from_cache(),
+                cad_cache_key=context.bundle_key, stage_records=records)
+        return PartitioningOutcome(
+            success=False, region=region,
+            reason=f"CAD stage {error.stage!r} failed: {cause}",
+            kernel=context.kernel, synthesis=context.synthesis,
+            placement=context.placement, routing=context.routing,
+            implementation=context.implementation,
+            cad_cache_key=context.bundle_key, stage_records=records)

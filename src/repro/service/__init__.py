@@ -13,9 +13,9 @@ framing from one simulation to batches:
 * :mod:`~repro.service.pool` — a process worker pool with a serial
   in-process fallback, per-worker warm caches and worker-fault isolation;
   :class:`WarpService` ties scheduler, pool and cache together.
-* :mod:`~repro.service.artifact_cache` — the content-addressed CAD cache
-  memoizing synthesis/placement/routing/implementation per (kernel DADG,
-  WCLA) content.
+* :mod:`~repro.service.artifact_cache` — compatibility shim over
+  :mod:`repro.cad`, the home of the staged CAD flow and its two-level
+  (whole-bundle + per-stage) content-addressed cache.
 * :mod:`~repro.service.cli` — the ``repro-warp`` command-line front end.
 
 CPU checkpoint/restore — the primitive behind job preemption, migration
@@ -23,9 +23,10 @@ and scenario fan-out — lives at the simulator layer in
 :mod:`repro.microblaze.checkpoint`.
 """
 
-from .artifact_cache import (
+from ..cad import (
     CadArtifactCache,
     CadArtifacts,
+    CapacityRejection,
     artifact_cache_key,
     canonical_body_form,
 )
@@ -43,6 +44,7 @@ from .scheduler import JobScheduler, ScheduledJob
 __all__ = [
     "CadArtifactCache",
     "CadArtifacts",
+    "CapacityRejection",
     "artifact_cache_key",
     "canonical_body_form",
     "SERVICE_PLATFORM_ORDER",

@@ -1,212 +1,36 @@
-"""Content-addressed cache for on-chip CAD artifacts.
+"""Compatibility shim — the CAD artifact cache moved to :mod:`repro.cad`.
 
-The expensive part of a warp job is not the simulation — it is the CAD
-flow the dynamic partitioning module runs for each critical region:
-synthesis, technology mapping, placement, routing and implementation.
-Two jobs that partition *the same loop body* onto *the same WCLA* produce
-identical artifacts, no matter which benchmark instance, processor core or
-sweep configuration the loop came from.  The same decode-once instinct
-that drives binary-translation caches (revamb's translated-block reuse,
-the threaded-code engine of PR 1) applies one level up: perform the CAD
-work once per distinct (kernel, fabric) content, then serve every repeat
-from the cache.
-
-The key is a SHA-256 over
-
-* the *canonical form* of the kernel's decompiled dataflow graph — a
-  deterministic, address-independent serialization of the register
-  updates, stores, continue condition and live-in set.  Region byte
-  addresses are deliberately excluded: the same loop body linked at a
-  different address (or running on a different core of a
-  :class:`~repro.warp.multiprocessor.MultiProcessorWarpSystem`) hits;
-* the WCLA parameters (fabric geometry and timing, memory ports, register
-  count — every field of the frozen dataclasses), because they shape all
-  four artifact stages.
-
-The cached value bundles all four stage outputs.  The bundle's
-``implementation`` references the *cached* kernel; this is sound because
-everything downstream (the WCLA execution engine, the timing/area/energy
-models) depends only on content the key covers.  Per-run quantities — the
-binary patch and the modelled on-chip partitioning time, which depend on
-the region's concrete addresses — stay outside the cache.
-
-The store is the repo-wide :class:`repro.caching.BoundedLRU`, so the
-compile cache and the artifact cache share one eviction/accounting
-implementation and one ``clear()`` convention.
+The content-addressed cache, the artifact bundle type and the canonical
+forms used to live here, which made the partitioning layer import from the
+service layer above it.  Their home is now the :mod:`repro.cad` package
+(next to the staged flow that produces them); this module re-exports the
+public names so existing ``repro.service.artifact_cache`` imports keep
+working.  See :mod:`repro.cad.keys` for the key-versioning rules and
+:mod:`repro.cad.artifacts` for the per-stage cache semantics.
 """
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-from ..caching import BoundedLRU
-from ..decompile.expr import (
-    BinExpr,
-    Condition,
-    Const,
-    LiveIn,
-    Load,
-    Mux,
-    Node,
-    UnExpr,
+from ..cad.artifacts import (
+    CadArtifactCache,
+    CadArtifacts,
+    CapacityRejection,
+    is_negative_artifact,
 )
-from ..decompile.kernel import HardwareKernel
-from ..decompile.symexec import SymbolicLoopBody
-from ..fabric.architecture import WclaParameters
-from ..fabric.implementation import HardwareImplementation
-from ..fabric.place import PlacementResult
-from ..fabric.route import RoutingResult
-from ..synthesis.datapath import SynthesisResult
+from ..cad.keys import (
+    CANONICAL_FORM_VERSION,
+    artifact_cache_key,
+    canonical_body_form,
+    canonical_wcla_form,
+)
 
-#: Bump whenever the canonical serialization below changes shape.
-CANONICAL_FORM_VERSION = 1
-
-
-# --------------------------------------------------------------------------- canonical form
-def _serialize_node(node: Node, memo: Dict[int, int],
-                    lines: List[str]) -> int:
-    """Append ``node`` (postorder) to ``lines`` and return its line index.
-
-    Identity-memoized: the expression DAG is structurally hashed by its
-    builder, so shared sub-terms serialize once and references are by line
-    index — structurally identical DAGs produce identical line sequences
-    regardless of the ``node_id`` values the builder happened to assign.
-    """
-    index = memo.get(id(node))
-    if index is not None:
-        return index
-    if isinstance(node, Const):
-        line = f"const {node.value & 0xFFFFFFFF}"
-    elif isinstance(node, LiveIn):
-        line = f"live r{node.register}"
-    elif isinstance(node, BinExpr):
-        left = _serialize_node(node.left, memo, lines)
-        right = _serialize_node(node.right, memo, lines)
-        line = f"bin {node.op.value} {left} {right}"
-    elif isinstance(node, UnExpr):
-        operand = _serialize_node(node.operand, memo, lines)
-        line = f"un {node.op.value} {operand}"
-    elif isinstance(node, Load):
-        address = _serialize_node(node.address, memo, lines)
-        line = f"load w{node.width} seq{node.sequence} {address}"
-    elif isinstance(node, Mux):
-        condition = _serialize_node(node.condition, memo, lines)
-        if_true = _serialize_node(node.if_true, memo, lines)
-        if_false = _serialize_node(node.if_false, memo, lines)
-        line = f"mux {condition} {if_true} {if_false}"
-    elif isinstance(node, Condition):
-        value = _serialize_node(node.value, memo, lines)
-        line = f"cond {node.relation} {value}"
-    else:  # pragma: no cover - defensive: new node kinds must be added here
-        raise TypeError(f"cannot canonicalize node {node!r}")
-    lines.append(line)
-    memo[id(node)] = len(lines) - 1
-    return len(lines) - 1
-
-
-def canonical_body_form(body: SymbolicLoopBody) -> str:
-    """Deterministic, address-independent text form of one loop body's DADG.
-
-    Register updates are emitted in register order, stores in program
-    order, the continue condition last, followed by the live-in set — the
-    complete content the CAD flow consumes.  Two regions with the same
-    canonical form synthesize, place and route identically.
-    """
-    memo: Dict[int, int] = {}
-    lines: List[str] = [f"v{CANONICAL_FORM_VERSION}"]
-    for register in sorted(body.register_updates):
-        index = _serialize_node(body.register_updates[register], memo, lines)
-        lines.append(f"update r{register} {index}")
-    for store in body.stores:
-        address = _serialize_node(store.address, memo, lines)
-        value = _serialize_node(store.value, memo, lines)
-        guard = (-1 if store.guard is None
-                 else _serialize_node(store.guard, memo, lines))
-        lines.append(f"store w{store.width} seq{store.sequence} "
-                     f"{address} {value} {guard}")
-    if body.continue_condition is not None:
-        index = _serialize_node(body.continue_condition, memo, lines)
-        lines.append(f"continue {index}")
-    lines.append("livein " + ",".join(str(r)
-                                      for r in sorted(body.live_in_registers)))
-    return "\n".join(lines)
-
-
-def canonical_wcla_form(wcla: WclaParameters) -> str:
-    """Deterministic text form of the WCLA parameters (frozen dataclasses
-    have a stable field-ordered ``repr``)."""
-    return repr(wcla)
-
-
-def artifact_cache_key(kernel: HardwareKernel, wcla: WclaParameters) -> str:
-    """SHA-256 content address of ``(kernel DADG canonical form, WCLA)``."""
-    digest = hashlib.sha256()
-    digest.update(canonical_body_form(kernel.body).encode())
-    digest.update(b"\x00")
-    digest.update(canonical_wcla_form(wcla).encode())
-    return digest.hexdigest()
-
-
-# --------------------------------------------------------------------------- the cache
-@dataclass
-class CadArtifacts:
-    """The four memoized stage outputs of one (kernel, WCLA) content."""
-
-    synthesis: SynthesisResult
-    placement: PlacementResult
-    routing: RoutingResult
-    implementation: HardwareImplementation
-
-
-class CadArtifactCache:
-    """Bounded content-addressed store of :class:`CadArtifacts`.
-
-    One instance is typically shared per process: the serial service path
-    keeps a module-level instance, every pool worker owns its own (warmed
-    for the worker's lifetime), and a
-    :class:`~repro.warp.multiprocessor.MultiProcessorWarpSystem` shares one
-    across its cores, mirroring the paper's single DPM serving all
-    processors.
-    """
-
-    def __init__(self, maxsize: Optional[int] = 256):
-        self._lru = BoundedLRU(maxsize)
-
-    # ------------------------------------------------------------------ lookup
-    def key_for(self, kernel: HardwareKernel, wcla: WclaParameters) -> str:
-        return artifact_cache_key(kernel, wcla)
-
-    def lookup(self, key: str) -> Optional[CadArtifacts]:
-        """Fetch by key, counting a hit or a miss."""
-        return self._lru.get(key)
-
-    def store(self, key: str, artifacts: CadArtifacts) -> None:
-        self._lru.put(key, artifacts)
-
-    def clear(self) -> None:
-        self._lru.clear()
-
-    # -------------------------------------------------------------- accounting
-    def __len__(self) -> int:
-        return len(self._lru)
-
-    @property
-    def hits(self) -> int:
-        return self._lru.hits
-
-    @property
-    def misses(self) -> int:
-        return self._lru.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self._lru.hit_rate
-
-    def counters(self) -> Tuple[int, int]:
-        """``(hits, misses)`` snapshot for per-job delta accounting."""
-        return self._lru.counters()
-
-    def stats(self) -> Dict:
-        return self._lru.stats()
+__all__ = [
+    "CANONICAL_FORM_VERSION",
+    "CadArtifactCache",
+    "CadArtifacts",
+    "CapacityRejection",
+    "artifact_cache_key",
+    "canonical_body_form",
+    "canonical_wcla_form",
+    "is_negative_artifact",
+]

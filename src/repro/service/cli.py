@@ -18,14 +18,19 @@ runs a declarative job file.  Job files are JSON::
         {"name": "brev-nobs", "benchmark": "brev", "small": true,
          "priority": 5, "config": {"use_barrel_shifter": false},
          "config_label": "no-bs"},
+        {"name": "greedy", "benchmark": "idct",
+         "stages": ["decompile", "synthesis", "place", "route-greedy",
+                    "implement", "binary-update"]},
         {"name": "inline", "source": "int main() { ... }"}
     ]}
 
 where ``config`` holds :class:`~repro.microblaze.config.MicroBlazeConfig`
-field overrides applied to the paper configuration.  Both subcommands
-print the suite-level speedup/energy tables and write the full JSON
-report (per-job metrics, CAD-cache hit/miss counters, wall times) to
-``--out``.
+field overrides applied to the paper configuration and ``stages``
+optionally swaps registered CAD flow passes (see
+:func:`repro.cad.available_stage_names`).  Both subcommands print the
+suite-level speedup/energy tables and write the full JSON report (per-job
+metrics, CAD-cache and per-stage hit/miss counters, per-stage wall times)
+to ``--out``.
 """
 
 from __future__ import annotations
@@ -137,7 +142,7 @@ def load_job_file(path: Path) -> List[WarpJob]:
                            f"'jobs' array")
     jobs: List[WarpJob] = []
     allowed = {"name", "benchmark", "source", "small", "engine", "priority",
-               "max_instructions", "config", "config_label"}
+               "max_instructions", "config", "config_label", "stages"}
     for index, entry in enumerate(entries):
         if not isinstance(entry, dict) or "name" not in entry:
             raise JobSpecError(f"{path}: job #{index} must be an object with "
@@ -161,6 +166,9 @@ def load_job_file(path: Path) -> List[WarpJob]:
             priority=_int_field(entry, "priority", 0, path),
             max_instructions=_int_field(entry, "max_instructions",
                                         50_000_000, path),
+            # Shape, registry membership and slot coverage are validated by
+            # WarpJob itself (JobSpecError).
+            stages=entry.get("stages"),
         ))
     return jobs
 

@@ -20,6 +20,13 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cad import (
+    SOURCE_BUNDLE,
+    SOURCE_HIT,
+    SOURCE_MISS,
+    SOURCE_NEGATIVE,
+    validate_job_stage_names,
+)
 from ..eval.figures import metric_rows
 from ..eval.reporting import format_table
 from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
@@ -29,6 +36,14 @@ from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
 #: software-only MicroBlaze against the warp-processed MicroBlaze; the ARM
 #: comparison points of Figure 6/7 belong to the evaluation harness).
 SERVICE_PLATFORM_ORDER = ("MicroBlaze", "MicroBlaze (Warp)")
+
+#: Column order of the per-stage CAD flow table.
+STAGE_METRIC_ORDER = ("wall ms", "hits", "misses", "hit rate")
+
+#: Stage record sources that count as stage-level cache hits (the bundle
+#: fast path serves every bundled stage at once; a negative hit replays a
+#: memoized capacity rejection without re-running the stage).
+_STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE)
 
 
 class JobSpecError(ValueError):
@@ -43,6 +58,10 @@ class WarpJob:
     ``small``-sized parameters when requested) or ``source`` (raw
     kernel-language text) must be given.  ``name`` and ``priority`` are
     scheduling metadata and do not participate in content deduplication.
+    ``stages`` optionally swaps registered CAD flow passes for this job
+    (e.g. ``("decompile", "synthesis", "place", "route-greedy",
+    "implement", "binary-update")``); it changes the computed result, so
+    it is part of the dedup key.
     """
 
     name: str
@@ -55,6 +74,7 @@ class WarpJob:
     engine: Optional[str] = None
     max_instructions: int = 50_000_000
     priority: int = 0
+    stages: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if (self.benchmark is None) == (self.source is None):
@@ -62,12 +82,36 @@ class WarpJob:
                 f"job {self.name!r}: specify exactly one of 'benchmark' or "
                 f"'source'"
             )
+        if self.stages is not None:
+            if isinstance(self.stages, str):
+                raise JobSpecError(
+                    f"job {self.name!r}: 'stages' must be a sequence of "
+                    f"stage names, not a single string"
+                )
+            if not isinstance(self.stages, tuple):
+                try:
+                    object.__setattr__(self, "stages", tuple(self.stages))
+                except TypeError as error:
+                    raise JobSpecError(
+                        f"job {self.name!r}: 'stages' must be a sequence "
+                        f"of stage names"
+                    ) from error
+            if not self.stages or not all(isinstance(stage, str)
+                                          for stage in self.stages):
+                raise JobSpecError(
+                    f"job {self.name!r}: 'stages' must be a non-empty "
+                    f"sequence of stage names"
+                )
+            try:
+                validate_job_stage_names(self.stages)
+            except ValueError as error:
+                raise JobSpecError(f"job {self.name!r}: {error}") from error
 
     def dedup_key(self) -> Tuple:
         """Content identity: two jobs with equal keys compute the same
         result, whatever they are named or prioritized."""
         return (self.benchmark, self.source, self.small, self.config,
-                self.wcla, self.engine, self.max_instructions)
+                self.wcla, self.engine, self.max_instructions, self.stages)
 
     def describe(self) -> str:
         workload = self.benchmark if self.benchmark else "<inline source>"
@@ -104,6 +148,12 @@ class ServiceResult:
     cad_cache_hit: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Per-stage CAD flow accounting: host wall milliseconds per stage and
+    #: how each stage was satisfied ("miss"/"hit"/"bundle"/"negative-hit"/
+    #: "uncached"); memoized capacity rejections served to this job.
+    stage_wall_ms: Dict[str, float] = field(default_factory=dict)
+    stage_cache: Dict[str, str] = field(default_factory=dict)
+    cache_negative_hits: int = 0
     #: Host-side execution accounting.
     wall_seconds: float = 0.0
     worker_pid: int = 0
@@ -154,8 +204,54 @@ class ServiceReport:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def cache_negative_hits(self) -> int:
+        """Memoized capacity rejections served across the batch."""
+        return sum(result.cache_negative_hits for result in self.results)
+
     def succeeded(self) -> List[ServiceResult]:
         return [result for result in self.results if result.ok]
+
+    # ---------------------------------------------------------------- stages
+    def stage_order(self) -> List[str]:
+        """Stage names in flow order (first occurrence across results)."""
+        order: List[str] = []
+        for result in self.results:
+            for stage in result.stage_wall_ms:
+                if stage not in order:
+                    order.append(stage)
+        return order
+
+    def stage_summary(self) -> List[Tuple[str, Dict[str, float]]]:
+        """Per-stage aggregate: total host wall ms, cache hits/misses and
+        the stage-level hit rate across every executed job."""
+        entries: List[Tuple[str, Dict[str, float]]] = []
+        for stage in self.stage_order():
+            wall_ms = 0.0
+            hits = misses = 0
+            for result in self.results:
+                wall_ms += result.stage_wall_ms.get(stage, 0.0)
+                source = result.stage_cache.get(stage)
+                if source in _STAGE_HIT_SOURCES:
+                    hits += 1
+                elif source == SOURCE_MISS:
+                    misses += 1
+            lookups = hits + misses
+            entries.append((stage, {
+                "wall ms": wall_ms,
+                "hits": hits,
+                "misses": misses,
+                "hit rate": hits / lookups if lookups else 0.0,
+            }))
+        return entries
+
+    def stage_rows(self) -> List[List[object]]:
+        """Per-stage timing/hit-rate rows (metric_rows conventions)."""
+        return metric_rows(self.stage_summary(), STAGE_METRIC_ORDER)
+
+    def stage_table(self) -> str:
+        return format_table(["Stage"] + list(STAGE_METRIC_ORDER),
+                            self.stage_rows())
 
     # ----------------------------------------------------------------- tables
     def speedup_rows(self) -> List[List[object]]:
@@ -185,11 +281,15 @@ class ServiceReport:
             f"[{self.mode}, workers={self.workers}]",
             f"CAD artifact cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses "
-            f"({100 * self.cache_hit_rate:.0f}% hit rate)",
+            f"({100 * self.cache_hit_rate:.0f}% hit rate, "
+            f"{self.cache_negative_hits} memoized capacity rejections)",
         ]
         if self.succeeded():
             lines.append("")
             lines.append(self.speedup_table())
+        if self.stage_order():
+            lines.append("")
+            lines.append(self.stage_table())
         return "\n".join(lines)
 
     # ------------------------------------------------------------------- JSON
@@ -204,11 +304,22 @@ class ServiceReport:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_rate": round(self.cache_hit_rate, 4),
+                "negative_hits": self.cache_negative_hits,
+            },
+            "stages": {
+                stage: {
+                    "wall_ms": round(metrics["wall ms"], 4),
+                    "hits": metrics["hits"],
+                    "misses": metrics["misses"],
+                    "hit_rate": round(metrics["hit rate"], 4),
+                }
+                for stage, metrics in self.stage_summary()
             },
             "jobs": [result.to_plain() for result in self.results],
             "tables": {
                 "speedup": self.speedup_table() if self.succeeded() else "",
                 "energy": self.energy_table() if self.succeeded() else "",
+                "stages": self.stage_table() if self.stage_order() else "",
             },
         }
 
@@ -261,4 +372,5 @@ def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
     """
     return replace(result, job_name=job.name, config_label=job.config_label,
                    deduped_from=result.job_name,
-                   cache_hits=0, cache_misses=0, wall_seconds=0.0)
+                   cache_hits=0, cache_misses=0, cache_negative_hits=0,
+                   stage_wall_ms={}, stage_cache={}, wall_seconds=0.0)

@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..cad import SOURCE_NEGATIVE
 from ..compiler import compile_source_cached
 from ..microblaze.cpu import DEFAULT_ENGINE
 from ..power.energy import microblaze_energy, warp_energy
@@ -91,7 +92,8 @@ def execute_job(job: WarpJob,
         program = compile_source_cached(source, name=name,
                                         config=job.config).program
         processor = WarpProcessor(config=job.config, wcla=job.wcla,
-                                  engine=job.engine, artifact_cache=cache)
+                                  engine=job.engine, artifact_cache=cache,
+                                  stage_names=job.stages)
         hits_before, misses_before = cache.counters()
         warp = processor.run(program, max_instructions=job.max_instructions)
         hits_after, misses_after = cache.counters()
@@ -107,6 +109,12 @@ def execute_job(job: WarpJob,
         result.cad_cache_hit = outcome.cad_cache_hit
         result.cache_hits = hits_after - hits_before
         result.cache_misses = misses_after - misses_before
+        for record in outcome.stage_records:
+            result.stage_wall_ms[record.stage] = record.wall_seconds * 1e3
+            result.stage_cache[record.stage] = record.source
+        result.cache_negative_hits = sum(
+            1 for record in outcome.stage_records
+            if record.source == SOURCE_NEGATIVE)
 
         mb_energy = microblaze_energy(warp.software_seconds,
                                       job.config.clock_mhz)

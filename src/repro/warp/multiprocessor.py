@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
 from ..isa.program import Program
 from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
+from ..partition.dpm import DynamicPartitioningModule
 from .processor import WarpProcessor, WarpRunResult
 
 
@@ -117,7 +118,8 @@ class MultiProcessorWarpSystem:
                  wcla: WclaParameters = DEFAULT_WCLA,
                  num_dpm_modules: int = 1,
                  engine: Optional[str] = None,
-                 artifact_cache=None):
+                 artifact_cache=None,
+                 stage_names=None):
         if num_cores <= 0:
             raise ValueError("a warp system needs at least one core")
         if num_dpm_modules <= 0:
@@ -131,6 +133,12 @@ class MultiProcessorWarpSystem:
         #: serves every core, so cores running the same application reuse
         #: one set of CAD artifacts instead of re-synthesizing per core.
         self.artifact_cache = artifact_cache
+        #: One shared DPM — and therefore one shared CAD flow (stages,
+        #: tracing hooks, cache) — serving every core, exactly as the
+        #: paper's single partitioning module does.
+        self.dpm = DynamicPartitioningModule(wcla=wcla,
+                                             artifact_cache=artifact_cache,
+                                             stage_names=stage_names)
 
     def run(self, programs: Sequence[Program]) -> MultiProcessorResult:
         """Run one program per core through the warp flow.
@@ -146,9 +154,8 @@ class MultiProcessorWarpSystem:
         dpm_free_at = [0.0] * self.num_dpm_modules
 
         for index, program in enumerate(programs):
-            processor = WarpProcessor(config=self.config, wcla=self.wcla,
-                                      engine=self.engine,
-                                      artifact_cache=self.artifact_cache)
+            processor = WarpProcessor(config=self.config, engine=self.engine,
+                                      dpm=self.dpm)
             result = processor.run(program)
             per_core.append(result)
             if result.partitioning.success:
