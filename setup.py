@@ -14,10 +14,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Warp processing for FPGA soft processor cores: a reproduction of "
-        "Lysecky & Vahid, DATE 2005"
+        "Lysecky & Vahid, DATE 2005 — with a networked warp service "
+        "(WARPNET gateway, remote workers, persistent CAD artifact store)"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),

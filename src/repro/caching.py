@@ -1,16 +1,19 @@
 """Shared bounded-LRU cache used by every memoization layer of the repo.
 
-Two layers memoize expensive work across the warp service:
+Three layers memoize expensive work across the warp service:
 
 * the compiler cache (:func:`repro.compiler.driver.compile_source_cached`)
   memoizes source → :class:`~repro.compiler.driver.CompilationResult`;
-* the CAD artifact cache (:mod:`repro.service.artifact_cache`) memoizes a
-  kernel's synthesis / placement / routing / implementation bundle under a
-  content-addressed key.
+* the CAD artifact cache (:class:`repro.cad.CadArtifactCache`) memoizes a
+  kernel's synthesis / placement / routing / implementation outputs —
+  whole bundles and per-stage entries — under content-addressed keys;
+* the persistent :class:`repro.server.store.DiskArtifactStore` sits
+  *under* the artifact cache as its disk tier (its mtime-LRU eviction is
+  file-based, not this in-memory primitive).
 
-Both sit on the same primitive defined here so they share one eviction
-policy, one hit/miss accounting convention, and one explicit ``clear()``
-that the tests use to force cold-cache behaviour.
+The in-memory layers sit on the same primitive defined here so they share
+one eviction policy, one hit/miss accounting convention, and one explicit
+``clear()`` that the tests use to force cold-cache behaviour.
 """
 
 from __future__ import annotations

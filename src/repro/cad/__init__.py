@@ -42,6 +42,7 @@ from .artifacts import (
 from .flow import (
     DEFAULT_STAGE_NAMES,
     SOURCE_BUNDLE,
+    SOURCE_DISK,
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_NEGATIVE,
@@ -81,6 +82,7 @@ __all__ = [
     "is_negative_artifact",
     "DEFAULT_STAGE_NAMES",
     "SOURCE_BUNDLE",
+    "SOURCE_DISK",
     "SOURCE_HIT",
     "SOURCE_MISS",
     "SOURCE_NEGATIVE",

@@ -31,6 +31,15 @@ partitioning time, which depend on the region's concrete addresses — stay
 outside the cache.  Both levels sit on the repo-wide
 :class:`repro.caching.BoundedLRU` (one eviction/accounting implementation,
 one explicit ``clear()``).
+
+A third, *persistent* tier can be layered underneath: pass a
+:class:`repro.server.store.DiskArtifactStore` (or any object with
+``stage_get``/``stage_put``/``stats``) as ``store``.  Per-stage entries
+are written through to it and a memory miss consults it before counting a
+miss, so a fresh process — or another machine sharing the directory —
+starts warm.  Disk hits are counted separately from memory hits
+(``disk_hits`` / :meth:`CadArtifactCache.stage_disk_hits`), and the flow
+records them as the distinct ``disk-hit`` stage source.
 """
 
 from __future__ import annotations
@@ -95,13 +104,25 @@ class CadArtifactCache:
 
     def __init__(self, maxsize: Optional[int] = 256,
                  stage_maxsize: Optional[int] = 1024,
-                 bundle_fast_path: bool = True):
+                 bundle_fast_path: bool = True,
+                 store=None):
         self._bundle = BoundedLRU(maxsize)
         self._stages = BoundedLRU(stage_maxsize)
         self.bundle_fast_path = bundle_fast_path
+        #: Optional persistent tier under the per-stage entries (duck-typed:
+        #: ``stage_get``/``stage_put``/``stats``, e.g.
+        #: :class:`repro.server.store.DiskArtifactStore`).  Named
+        #: ``disk_store`` because :meth:`store` is the bundle-store method.
+        self.disk_store = store
         self._stage_hits: Dict[str, int] = {}
         self._stage_misses: Dict[str, int] = {}
+        self._stage_disk_hits: Dict[str, int] = {}
         self.negative_hits = 0
+        self.disk_hits = 0
+        #: Tier that served the most recent :meth:`stage_lookup` hit
+        #: (``"memory"`` / ``"disk"`` / ``None`` on a miss) — read by the
+        #: flow driver to label the stage record's source.
+        self.last_lookup_tier: Optional[str] = None
 
     # ----------------------------------------------------------------- bundle
     def key_for(self, kernel: HardwareKernel, wcla: WclaParameters,
@@ -118,25 +139,57 @@ class CadArtifactCache:
 
     # ----------------------------------------------------------------- stages
     def stage_lookup(self, stage: str, key: str) -> Optional[object]:
-        """Fetch one stage's output, counting per-stage (and negative) hits."""
+        """Fetch one stage's output, counting per-stage (and negative) hits.
+
+        A memory miss consults the persistent tier (when configured)
+        before counting a miss; a disk hit promotes the entry into memory
+        and is tallied separately from memory hits.
+        """
+        self.last_lookup_tier = None
         value = self._stages.get(f"{stage}\x00{key}")
+        if value is None and self.disk_store is not None:
+            value = self.disk_store.stage_get(stage, key)
+            if value is not None:
+                self._stages.put(f"{stage}\x00{key}", value)
+                self.last_lookup_tier = "disk"
+                if is_negative_artifact(value):
+                    # A replayed rejection is a stage-level hit plus a
+                    # negative hit — exactly as when memory serves it —
+                    # but never a ``disk_hit``, so ``disk_hits`` always
+                    # equals the number of ``disk-hit`` stage records.
+                    self._stage_hits[stage] = \
+                        self._stage_hits.get(stage, 0) + 1
+                    self.negative_hits += 1
+                else:
+                    self._stage_disk_hits[stage] = \
+                        self._stage_disk_hits.get(stage, 0) + 1
+                    self.disk_hits += 1
+                return value
         if value is None:
             self._stage_misses[stage] = self._stage_misses.get(stage, 0) + 1
             return None
         self._stage_hits[stage] = self._stage_hits.get(stage, 0) + 1
+        self.last_lookup_tier = "memory"
         if is_negative_artifact(value):
             self.negative_hits += 1
         return value
 
     def stage_store(self, stage: str, key: str, value: object) -> None:
         self._stages.put(f"{stage}\x00{key}", value)
+        if self.disk_store is not None:
+            self.disk_store.stage_put(stage, key, value)
 
     def clear(self) -> None:
+        """Drop the in-memory tiers (the persistent store, when attached,
+        keeps its entries — it has its own ``clear()``)."""
         self._bundle.clear()
         self._stages.clear()
         self._stage_hits.clear()
         self._stage_misses.clear()
+        self._stage_disk_hits.clear()
         self.negative_hits = 0
+        self.disk_hits = 0
+        self.last_lookup_tier = None
 
     # -------------------------------------------------------------- accounting
     def __len__(self) -> int:
@@ -160,11 +213,16 @@ class CadArtifactCache:
         return self._bundle.counters()
 
     def stage_counters(self) -> Dict[str, Tuple[int, int]]:
-        """Per-stage ``{stage: (hits, misses)}`` snapshot."""
+        """Per-stage ``{stage: (memory hits, misses)}`` snapshot (disk hits
+        are separate — see :meth:`stage_disk_hits`)."""
         stages = sorted(set(self._stage_hits) | set(self._stage_misses))
         return {stage: (self._stage_hits.get(stage, 0),
                         self._stage_misses.get(stage, 0))
                 for stage in stages}
+
+    def stage_disk_hits(self) -> Dict[str, int]:
+        """Per-stage hits served by the persistent tier."""
+        return dict(self._stage_disk_hits)
 
     def stats(self) -> Dict:
         return {
@@ -172,9 +230,16 @@ class CadArtifactCache:
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
             "negative_hits": self.negative_hits,
+            "disk_hits": self.disk_hits,
             "bundle": self._bundle.stats(),
             "stages": self._stages.stats(),
-            "per_stage": {stage: {"hits": hits, "misses": misses}
-                          for stage, (hits, misses)
-                          in self.stage_counters().items()},
+            "per_stage": {stage: {"hits": self._stage_hits.get(stage, 0),
+                                  "misses": self._stage_misses.get(stage, 0),
+                                  "disk_hits":
+                                      self._stage_disk_hits.get(stage, 0)}
+                          for stage in sorted(set(self._stage_hits)
+                                              | set(self._stage_misses)
+                                              | set(self._stage_disk_hits))},
+            "store": self.disk_store.stats()
+                     if self.disk_store is not None else None,
         }

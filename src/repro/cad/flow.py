@@ -106,9 +106,10 @@ class KernelDoesNotFitError(Exception):
 # --------------------------------------------------------------------------- records
 #: How a stage was satisfied.
 SOURCE_MISS = "miss"                  # executed; cache consulted and stored
-SOURCE_HIT = "hit"                    # served from a per-stage cache entry
+SOURCE_HIT = "hit"                    # served from a per-stage memory entry
 SOURCE_BUNDLE = "bundle"              # served by the whole-bundle fast path
 SOURCE_NEGATIVE = "negative-hit"      # memoized capacity rejection replayed
+SOURCE_DISK = "disk-hit"              # served by the persistent store tier
 SOURCE_UNCACHED = "uncached"          # executed; no cache or uncacheable
 
 
@@ -179,7 +180,9 @@ class FlowContext:
         if self.bundle_hit:
             return True
         bundle = [record for record in self.records if record.in_bundle]
-        return bool(bundle) and all(record.source in (SOURCE_HIT, SOURCE_BUNDLE)
+        return bool(bundle) and all(record.source in (SOURCE_HIT,
+                                                      SOURCE_BUNDLE,
+                                                      SOURCE_DISK)
                                     for record in bundle)
 
 
@@ -298,8 +301,12 @@ class CadFlow:
                     record.source = SOURCE_NEGATIVE
                     raise stage.revive_negative(cached)
                 if cached is not None:
-                    record.source = SOURCE_NEGATIVE \
-                        if is_negative_artifact(cached) else SOURCE_HIT
+                    if is_negative_artifact(cached):
+                        record.source = SOURCE_NEGATIVE
+                    elif cache.last_lookup_tier == "disk":
+                        record.source = SOURCE_DISK
+                    else:
+                        record.source = SOURCE_HIT
                     stage.install(context, cached)
                 else:
                     record.source = SOURCE_MISS

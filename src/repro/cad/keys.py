@@ -33,8 +33,9 @@ Versioning rules:
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, List
+
+from ..digest import sha256_hex
 
 from ..decompile.expr import (
     BinExpr,
@@ -134,14 +135,13 @@ def canonical_wcla_form(wcla: WclaParameters) -> str:
 def content_digest(*parts: str) -> str:
     """SHA-256 hex digest over NUL-separated text parts.
 
-    The separator keeps adjacent parts from concatenating ambiguously
-    (``("ab", "c")`` and ``("a", "bc")`` digest differently).
+    A thin alias of :func:`repro.digest.sha256_hex` — the repo-wide
+    digest helper — kept so CAD code reads in CAD vocabulary.  The byte
+    layout (NUL after every part) is unchanged from when this function
+    owned the implementation, so existing on-disk store entries and
+    recorded digests stay valid.
     """
-    digest = hashlib.sha256()
-    for part in parts:
-        digest.update(part.encode())
-        digest.update(b"\x00")
-    return digest.hexdigest()
+    return sha256_hex(*parts)
 
 
 def artifact_cache_key(kernel: HardwareKernel, wcla: WclaParameters,

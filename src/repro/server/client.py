@@ -1,0 +1,349 @@
+"""Clients for the warp gateway, and the remote worker backend.
+
+Three consumers of the ``WARPNET`` protocol live here:
+
+* :class:`GatewayClient` — a blocking socket client: handshake on
+  connect, then ``submit`` / ``status`` / ``stream_results`` /
+  ``cache_stats`` / ``shutdown`` verbs.  Admission-control rejections
+  surface as the typed
+  :class:`~repro.server.protocol.GatewayBusyError` (never a hang), and
+  reports/results come back as real
+  :class:`~repro.service.jobs.ServiceReport` /
+  :class:`~repro.service.jobs.ServiceResult` objects.
+* :class:`AsyncGatewayClient` — the same verbs on asyncio streams, for
+  callers that multiplex many gateways from one event loop.
+* :class:`RemoteWorkerBackend` — the remote executor for the
+  :class:`~repro.service.pool.WarpService` backend seam: a picklable
+  ``worker_fn(WarpJob) -> ServiceResult`` callable that routes each job
+  to one of several gateways by the same stable content digest the local
+  pool uses for shard affinity
+  (:func:`repro.digest.shard_index`), so repeated content lands on the
+  same gateway — whose caches stay warm.  Connections are pooled
+  per-process, so a backend instance shipped into pool workers reuses
+  one socket per gateway per worker.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, Iterator, Sequence, Tuple, Union
+
+from ..digest import shard_index
+from ..service.jobs import ServiceReport, ServiceResult, WarpJob
+from . import protocol
+
+Address = Union[str, Tuple[str, int]]
+
+#: Default I/O timeout: CAD flows on cold caches take seconds, not hours.
+DEFAULT_TIMEOUT = 600.0
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return host, int(port)
+    host, separator, port = address.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ValueError(f"address {address!r} is not 'host:port'")
+    return host, int(port)
+
+
+# --------------------------------------------------------------------------- blocking client
+class GatewayClient:
+    """A blocking WARPNET client over one TCP connection."""
+
+    def __init__(self, address: Address, timeout: float = DEFAULT_TIMEOUT):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=timeout)
+        try:
+            protocol.send_frame(self._sock, protocol.hello_frame())
+            protocol.check_hello(protocol.recv_frame(self._sock))
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # ----------------------------------------------------------------- plumbing
+    def _round_trip(self, request: Dict) -> Dict:
+        protocol.send_frame(self._sock, request)
+        return protocol.raise_for_error(protocol.recv_frame(self._sock))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------------- verbs
+    def submit(self, jobs: Sequence[WarpJob],
+               wait: bool = True) -> Union[ServiceReport, str]:
+        """Submit a batch.  ``wait=True`` blocks for the finished
+        :class:`ServiceReport`; ``wait=False`` returns the batch id.
+
+        Raises :class:`~repro.server.protocol.GatewayBusyError` when the
+        gateway's admission queue rejects the batch.
+        """
+        reply = self._round_trip({
+            "verb": "submit",
+            "wait": wait,
+            "jobs": protocol.jobs_to_plain(jobs),
+        })
+        if wait:
+            return ServiceReport.from_plain(reply["report"])
+        return reply["batch_id"]
+
+    def status(self, batch_id: str) -> Dict:
+        """Queue state of a batch; includes the report once done."""
+        reply = self._round_trip({"verb": "status", "batch_id": batch_id})
+        if "report" in reply:
+            reply = dict(reply)
+            reply["report"] = ServiceReport.from_plain(reply["report"])
+        return reply
+
+    def stream_results(self, batch_id: str) -> Iterator[ServiceResult]:
+        """Yield a batch's results one frame at a time (blocks until the
+        batch completes; the terminating ``done`` frame ends iteration).
+
+        Abandoning the iterator early (``break``) drains the remaining
+        frames, so the connection stays frame-aligned for later verbs.
+        """
+        protocol.send_frame(self._sock, {"verb": "stream-results",
+                                         "batch_id": batch_id})
+        protocol.raise_for_error(protocol.recv_frame(self._sock))
+        drained = False
+        try:
+            while True:
+                frame = protocol.raise_for_error(
+                    protocol.recv_frame(self._sock))
+                if frame.get("done"):
+                    drained = True
+                    return
+                yield ServiceResult.from_plain(frame["result"])
+        finally:
+            if not drained:
+                # Left mid-stream (early break, or a frame/protocol
+                # error): resynchronize by reading to the done frame, or
+                # close the connection so later verbs fail loudly rather
+                # than misread leftover frames.
+                try:
+                    while True:
+                        frame = protocol.recv_frame(self._sock)
+                        if frame is None or frame.get("done"):
+                            break
+                except Exception:  # noqa: BLE001 - already broken
+                    self.close()
+
+    def cache_stats(self) -> Dict:
+        """The gateway's CAD cache / store / queue statistics."""
+        return self._round_trip({"verb": "cache-stats"})
+
+    def shutdown(self) -> None:
+        """Ask the gateway to stop (acknowledged before it goes down)."""
+        self._round_trip({"verb": "shutdown"})
+
+
+# ---------------------------------------------------------------------- async client
+class AsyncGatewayClient:
+    """The same verbs on asyncio streams (``await connect()`` first)."""
+
+    def __init__(self, address: Address):
+        self.host, self.port = parse_address(address)
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncGatewayClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        await protocol.write_frame(self._writer, protocol.hello_frame())
+        protocol.check_hello(await protocol.read_frame(self._reader))
+        return self
+
+    async def _round_trip(self, request: Dict) -> Dict:
+        await protocol.write_frame(self._writer, request)
+        return protocol.raise_for_error(
+            await protocol.read_frame(self._reader))
+
+    async def submit(self, jobs: Sequence[WarpJob],
+                     wait: bool = True) -> Union[ServiceReport, str]:
+        reply = await self._round_trip({
+            "verb": "submit",
+            "wait": wait,
+            "jobs": protocol.jobs_to_plain(jobs),
+        })
+        if wait:
+            return ServiceReport.from_plain(reply["report"])
+        return reply["batch_id"]
+
+    async def status(self, batch_id: str) -> Dict:
+        reply = await self._round_trip({"verb": "status",
+                                        "batch_id": batch_id})
+        if "report" in reply:
+            reply = dict(reply)
+            reply["report"] = ServiceReport.from_plain(reply["report"])
+        return reply
+
+    async def stream_results(self, batch_id: str):
+        await protocol.write_frame(self._writer, {"verb": "stream-results",
+                                                  "batch_id": batch_id})
+        protocol.raise_for_error(await protocol.read_frame(self._reader))
+        drained = False
+        try:
+            while True:
+                frame = protocol.raise_for_error(
+                    await protocol.read_frame(self._reader))
+                if frame.get("done"):
+                    drained = True
+                    return
+                yield ServiceResult.from_plain(frame["result"])
+        finally:
+            if not drained:
+                try:
+                    while True:
+                        frame = await protocol.read_frame(self._reader)
+                        if frame is None or frame.get("done"):
+                            break
+                except Exception:  # noqa: BLE001 - already broken
+                    await self.close()
+
+    async def cache_stats(self) -> Dict:
+        return await self._round_trip({"verb": "cache-stats"})
+
+    async def shutdown(self) -> None:
+        await self._round_trip({"verb": "shutdown"})
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------- per-process connections
+_CLIENT_POOL: Dict[Tuple[str, int], GatewayClient] = {}
+_CLIENT_POOL_LOCK = threading.Lock()
+
+
+def _pooled_client(address: Tuple[str, int],
+                   timeout: float) -> GatewayClient:
+    with _CLIENT_POOL_LOCK:
+        client = _CLIENT_POOL.get(address)
+        if client is None:
+            client = GatewayClient(address, timeout=timeout)
+            _CLIENT_POOL[address] = client
+        return client
+
+
+def _drop_pooled_client(address: Tuple[str, int]) -> None:
+    with _CLIENT_POOL_LOCK:
+        client = _CLIENT_POOL.pop(address, None)
+    if client is not None:
+        client.close()
+
+
+def close_pooled_clients() -> None:
+    """Close every per-process pooled gateway connection (tests)."""
+    with _CLIENT_POOL_LOCK:
+        clients = list(_CLIENT_POOL.values())
+        _CLIENT_POOL.clear()
+    for client in clients:
+        client.close()
+
+
+# ------------------------------------------------------------------ remote backend
+class RemoteWorkerBackend:
+    """``worker_fn`` that executes jobs on remote gateway processes.
+
+    Implements the documented backend seam of
+    :class:`~repro.service.pool.WarpService`: call it with a
+    :class:`WarpJob`, get a :class:`ServiceResult` — never raises; a
+    network fault comes back as a failed result, matching the local
+    worker contract.  Jobs route across ``addresses`` by the stable
+    content digest (same digest as pool shard affinity), and a dropped
+    connection is retried once on a fresh one before the job is failed.
+
+    Instances are picklable (connections live in a per-process pool, not
+    on the instance), so the backend works both serially
+    (``WarpService(workers=0, worker_fn=backend)`` — one job at a time
+    over the wire) and pooled (``workers=len(addresses)`` — each local
+    shard relays its content partition to "its" gateway concurrently).
+    """
+
+    def __init__(self, addresses: Sequence[Address],
+                 timeout: float = DEFAULT_TIMEOUT):
+        if not addresses:
+            raise ValueError("RemoteWorkerBackend needs at least one "
+                             "gateway address")
+        self.addresses = [parse_address(address) for address in addresses]
+        self.timeout = timeout
+
+    def address_for(self, job: WarpJob) -> Tuple[str, int]:
+        """Content-affinity gateway routing (stable across processes)."""
+        return self.addresses[shard_index(repr(job.dedup_key()),
+                                          len(self.addresses))]
+
+    def __call__(self, job: WarpJob) -> ServiceResult:
+        address = self.address_for(job)
+        try:
+            return self._submit_once(address, job)
+        except protocol.GatewayBusyError:
+            raise  # backpressure is for the caller to see, not to mask
+        except TimeoutError as error:
+            # A timed-out submission may still be *running* on the
+            # gateway; resubmitting would execute the job twice and hold
+            # two admission slots.  Fail it instead — no retry.
+            _drop_pooled_client(address)
+            return self._failed(job, address, error)
+        except (protocol.ProtocolError, ConnectionError, OSError, EOFError):
+            # The pooled connection may have gone stale (gateway restart,
+            # idle timeout); retry exactly once on a fresh connection.
+            _drop_pooled_client(address)
+            try:
+                return self._submit_once(address, job)
+            except Exception as error:  # noqa: BLE001 - remote fault boundary
+                _drop_pooled_client(address)
+                return self._failed(job, address, error)
+        except Exception as error:  # noqa: BLE001 - remote fault boundary
+            return self._failed(job, address, error)
+
+    def _submit_once(self, address: Tuple[str, int],
+                     job: WarpJob) -> ServiceResult:
+        client = _pooled_client(address, self.timeout)
+        report = client.submit([job], wait=True)
+        if not report.results:
+            raise protocol.ProtocolError("gateway returned an empty report")
+        return report.results[0]
+
+    @staticmethod
+    def _failed(job: WarpJob, address: Tuple[str, int],
+                error: BaseException) -> ServiceResult:
+        from ..service.pool import _failed_result
+
+        return _failed_result(
+            job, (f"remote gateway {address[0]}:{address[1]} failed: "
+                  f"{type(error).__name__}: {error}"))
+
+    def close(self) -> None:
+        """Drop this process's pooled connections to our gateways."""
+        for address in self.addresses:
+            _drop_pooled_client(address)
+
+    # Connections are per-process state; the instance itself is plain data.
+    def __getstate__(self) -> Dict:
+        return {"addresses": self.addresses, "timeout": self.timeout}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.addresses = [tuple(address) for address in state["addresses"]]
+        self.timeout = state["timeout"]

@@ -1,0 +1,436 @@
+"""The asyncio warp gateway: a networked front end for the warp service.
+
+A :class:`WarpGateway` binds one listening socket and fronts one
+:class:`~repro.service.pool.WarpService` (serial or pooled) with the
+``WARPNET`` protocol of :mod:`repro.server.protocol`:
+
+* **submission** — a ``submit`` verb carries a batch of wire-encoded
+  jobs.  The batch is scheduled/deduplicated/executed by the service
+  exactly as an in-process ``service.run(jobs)`` would be, so a remote
+  submission produces byte-identical :class:`ServiceResult` numbers.
+* **admission control / backpressure** — the gateway admits at most
+  ``queue_limit`` *jobs* (summed over queued and running batches).  A
+  submission that would exceed the limit is rejected immediately with a
+  429-style ``busy`` reply — the client raises the typed
+  :class:`~repro.server.protocol.GatewayBusyError` — instead of queueing
+  unboundedly or hanging the connection.
+* **execution** — batches run strictly one at a time on a single
+  executor thread: the service object is not concurrent-safe, and its
+  *pool* is where parallelism lives (``workers>=1`` fans a batch out
+  across content-affinity shards).  Concurrency across connections comes
+  from asyncio; the executor thread only serializes the CPU-heavy part.
+* **persistence** — with a ``store_path`` the gateway's CAD cache is
+  backed by a :class:`~repro.server.store.DiskArtifactStore`, so a
+  restarted gateway (or a second one sharing the directory) starts warm.
+
+The gateway is deliberately loop-per-thread: ``run()`` owns its own
+``asyncio`` event loop, so tests and the CLI can host a gateway on a
+background thread next to blocking client code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from ..service.jobs import JobSpecError, ServiceReport, WarpJob
+from ..service.pool import WarpService, configure_process_store
+from . import protocol
+
+#: Default number of jobs the admission queue accepts (queued + running).
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Completed batches retained for status/stream-results queries; beyond
+#: this the oldest finished batches are dropped (a long-running gateway
+#: must not grow without bound).
+DEFAULT_RETAINED_BATCHES = 256
+
+
+class _Batch:
+    """One submitted batch: its jobs, state and (eventually) report."""
+
+    __slots__ = ("batch_id", "jobs", "num_jobs", "state", "report", "error",
+                 "done")
+
+    def __init__(self, batch_id: str, jobs: List[WarpJob]):
+        self.batch_id = batch_id
+        self.jobs = jobs                 # dropped once the batch finishes
+        self.num_jobs = len(jobs)
+        self.state = "queued"            # queued -> running -> done/failed
+        self.report: Optional[ServiceReport] = None
+        self.error: Optional[str] = None
+        self.done = asyncio.Event()
+
+
+class WarpGateway:
+    """One listening endpoint fronting one warp service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0, policy: str = "priority",
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 retained_batches: int = DEFAULT_RETAINED_BATCHES,
+                 store_path=None,
+                 service: Optional[WarpService] = None):
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if retained_batches <= 0:
+            raise ValueError("retained_batches must be positive")
+        self.host = host
+        self.port = port                 # rebound to the real port on start
+        self.queue_limit = queue_limit
+        self.retained_batches = retained_batches
+        self.store_path = store_path
+        if service is not None:
+            self.service = service
+        else:
+            artifact_cache = None
+            if store_path is not None:
+                # Also exported via the environment so pool workers the
+                # service forks later inherit the same store directory.
+                artifact_cache = configure_process_store(store_path)
+            self.service = WarpService(workers=workers, policy=policy,
+                                       artifact_cache=artifact_cache)
+        self._batches: Dict[str, _Batch] = {}
+        self._connections: set = set()
+        self._queue: "asyncio.Queue[_Batch]" = None
+        self._pending_jobs = 0
+        self._ids = itertools.count(1)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._runner_task = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._executor = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="warp-batch")
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind the socket and start the batch runner (idempotent)."""
+        if self._server is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  host=self.host,
+                                                  port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._runner_task = asyncio.ensure_future(self._run_batches())
+        self._ready.set()
+
+    async def serve(self) -> None:
+        """Start, then serve until a ``shutdown`` verb (or request_stop)."""
+        await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # Close open connections explicitly: handlers parked on a
+            # read of an idle keep-alive connection would otherwise keep
+            # Server.wait_closed() (which awaits handler completion on
+            # Python >= 3.12) blocked forever.
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+        if self._runner_task is not None:
+            self._runner_task.cancel()
+            try:
+                await self._runner_task
+            except asyncio.CancelledError:
+                pass
+        self._executor.shutdown(wait=True)
+        self.service.close()
+
+    def run(self) -> None:
+        """Blocking entry point: own loop, serve until shutdown."""
+        asyncio.run(self.serve())
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until the socket is bound (gateway-on-a-thread helper)."""
+        return self._ready.wait(timeout)
+
+    def request_stop(self) -> None:
+        """Thread-safe external shutdown request."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------- batches
+    async def _run_batches(self) -> None:
+        """The single consumer: strictly one batch at a time."""
+        while True:
+            batch = await self._queue.get()
+            batch.state = "running"
+            try:
+                batch.report = await asyncio.get_running_loop() \
+                    .run_in_executor(self._executor, self.service.run,
+                                     batch.jobs)
+                batch.state = "done"
+            except Exception as error:  # noqa: BLE001 - kept per batch
+                batch.state = "failed"
+                batch.error = f"{type(error).__name__}: {error}"
+            finally:
+                self._pending_jobs -= len(batch.jobs)
+                batch.jobs = []          # results live in the report now
+                batch.done.set()
+                self._prune_finished()
+
+    def _prune_finished(self) -> None:
+        """Drop the oldest finished batches beyond the retention bound
+        (in-flight batches are never dropped; insertion order is batch
+        order, so a plain scan evicts oldest-first)."""
+        finished = [batch_id for batch_id, batch in self._batches.items()
+                    if batch.state in ("done", "failed")]
+        for batch_id in finished[:max(0, len(finished)
+                                      - self.retained_batches)]:
+            del self._batches[batch_id]
+
+    def _admit(self, jobs: List[WarpJob]) -> Optional[Dict]:
+        """Admission control: an error reply when the queue cannot take
+        the batch, ``None`` when admitted.
+
+        A batch that could *never* fit gets the distinct, non-retryable
+        ``batch-too-large`` error; the 429-style ``busy`` reply is
+        reserved for transient fullness, where backing off and retrying
+        can succeed.
+        """
+        if len(jobs) > self.queue_limit:
+            return {
+                "ok": False,
+                "error": "batch-too-large",
+                "message": (f"batch of {len(jobs)} jobs exceeds this "
+                            f"gateway's admission limit of "
+                            f"{self.queue_limit}; split the batch (no "
+                            f"amount of retrying can admit it whole)"),
+                "queue_limit": self.queue_limit,
+            }
+        if self._pending_jobs + len(jobs) > self.queue_limit:
+            return {
+                "ok": False,
+                "error": "busy",
+                "code": 429,
+                "message": (f"admission queue is full: {self._pending_jobs} "
+                            f"jobs pending, limit {self.queue_limit}, "
+                            f"batch of {len(jobs)} rejected"),
+                "pending_jobs": self._pending_jobs,
+                "queue_limit": self.queue_limit,
+            }
+        return None
+
+    def _enqueue(self, jobs: List[WarpJob]) -> _Batch:
+        batch = _Batch(f"batch-{next(self._ids)}", jobs)
+        self._batches[batch.batch_id] = batch
+        self._pending_jobs += len(jobs)
+        self._queue.put_nowait(batch)
+        return batch
+
+    @staticmethod
+    def _batch_reply(batch: _Batch) -> Dict:
+        reply = {"ok": True, "batch_id": batch.batch_id,
+                 "state": batch.state, "num_jobs": batch.num_jobs}
+        if batch.state == "done":
+            reply["report"] = batch.report.to_plain()
+        elif batch.state == "failed":
+            reply["ok"] = False
+            reply["error"] = "batch-failed"
+            reply["message"] = batch.error
+        return reply
+
+    # --------------------------------------------------------------- connection
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            await self._converse(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers blocked on a read; finishing
+            # quietly here keeps shutdown free of spurious tracebacks.
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _converse(self, reader, writer) -> None:
+        try:
+            hello = await protocol.read_frame(reader)
+            try:
+                protocol.check_hello(hello)
+            except protocol.HandshakeError as error:
+                await protocol.write_frame(writer, {
+                    "magic": protocol.PROTOCOL_MAGIC,
+                    "version": protocol.PROTOCOL_VERSION,
+                    "ok": False, "error": "version-mismatch",
+                    "message": str(error),
+                })
+                return
+            await protocol.write_frame(writer, {
+                "magic": protocol.PROTOCOL_MAGIC,
+                "version": protocol.PROTOCOL_VERSION,
+                "ok": True,
+            })
+            while True:
+                request = await protocol.read_frame(reader)
+                if request is None:
+                    return
+                stop_after = await self._dispatch(request, writer)
+                if stop_after:
+                    return
+        except (protocol.ProtocolError, ConnectionError):
+            pass  # a broken peer never takes the gateway down
+
+    async def _dispatch(self, request: Dict, writer) -> bool:
+        """Handle one verb; returns True when the connection should end."""
+        verb = request.get("verb")
+        if verb == "submit":
+            await self._verb_submit(request, writer)
+        elif verb == "status":
+            await self._verb_status(request, writer)
+        elif verb == "stream-results":
+            await self._verb_stream(request, writer)
+        elif verb == "cache-stats":
+            await self._verb_cache_stats(writer)
+        elif verb == "shutdown":
+            await protocol.write_frame(writer, {"ok": True,
+                                                "state": "stopping"})
+            self._stop_event.set()
+            return True
+        else:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "unknown-verb",
+                "message": f"unknown verb {verb!r}",
+            })
+        return False
+
+    async def _verb_submit(self, request: Dict, writer) -> None:
+        try:
+            jobs = protocol.jobs_from_plain(request.get("jobs"))
+        except JobSpecError as error:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "bad-jobs", "message": str(error),
+            })
+            return
+        busy = self._admit(jobs)
+        if busy is not None:
+            await protocol.write_frame(writer, busy)
+            return
+        batch = self._enqueue(jobs)
+        if not request.get("wait", True):
+            await protocol.write_frame(writer, {
+                "ok": True, "batch_id": batch.batch_id,
+                "state": batch.state, "num_jobs": batch.num_jobs,
+            })
+            return
+        await batch.done.wait()
+        await protocol.write_frame(writer, self._batch_reply(batch))
+
+    def _lookup(self, request: Dict) -> Optional[_Batch]:
+        return self._batches.get(request.get("batch_id"))
+
+    async def _verb_status(self, request: Dict, writer) -> None:
+        batch = self._lookup(request)
+        if batch is None:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "unknown-batch",
+                "message": f"no batch {request.get('batch_id')!r}",
+            })
+            return
+        await protocol.write_frame(writer, self._batch_reply(batch))
+
+    async def _verb_stream(self, request: Dict, writer) -> None:
+        """Stream a batch's results one frame at a time, then ``done``.
+
+        Results stream as soon as the batch completes; each frame carries
+        one :class:`ServiceResult`, so a large report never has to fit in
+        a single frame on constrained clients.
+        """
+        batch = self._lookup(request)
+        if batch is None:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "unknown-batch",
+                "message": f"no batch {request.get('batch_id')!r}",
+            })
+            return
+        await batch.done.wait()
+        if batch.state == "failed":
+            await protocol.write_frame(writer, self._batch_reply(batch))
+            return
+        await protocol.write_frame(writer, {
+            "ok": True, "streaming": True, "batch_id": batch.batch_id,
+            "num_results": len(batch.report.results),
+        })
+        for result in batch.report.results:
+            await protocol.write_frame(writer, {
+                "ok": True, "result": result.to_plain(),
+            })
+        await protocol.write_frame(writer, {
+            "ok": True, "done": True,
+            "wall_seconds": batch.report.wall_seconds,
+            "mode": batch.report.mode,
+            "workers": batch.report.workers,
+        })
+
+    async def _verb_cache_stats(self, writer) -> None:
+        cache = self.service.artifact_cache
+        # The executor thread mutates the cache's counter dicts while a
+        # batch runs; iterating them here can race ("dictionary changed
+        # size during iteration").  Stats are a monitoring snapshot, so
+        # retrying the read is both safe and sufficient.
+        for _ in range(10):
+            try:
+                stats = cache.stats()
+                break
+            except RuntimeError:
+                await asyncio.sleep(0)
+        else:
+            stats = {"error": "cache busy, stats unavailable"}
+        reply = {
+            "ok": True,
+            "cache": stats,
+            "pending_jobs": self._pending_jobs,
+            "queue_limit": self.queue_limit,
+            "batches": {batch_id: batch.state
+                        for batch_id, batch in self._batches.items()},
+            "mode": self.service.mode,
+            "workers": self.service.workers,
+        }
+        if self.service.workers >= 1:
+            # Pool workers hold their own per-process caches; this
+            # process's hit/miss counters see only the serial path.  The
+            # store block's entries/size_bytes are still live (they scan
+            # the shared directory), so say so instead of letting the
+            # zeros read as a cold service.
+            reply["cache_scope"] = (
+                "gateway process only; pooled workers keep their own "
+                "caches (per-job counters travel in each report; the "
+                "store's entries/size reflect the shared directory)")
+        await protocol.write_frame(writer, reply)
+
+
+# --------------------------------------------------------------------------- helpers
+def start_gateway_thread(gateway: WarpGateway,
+                         timeout: float = 30.0) -> threading.Thread:
+    """Host ``gateway`` on a daemon thread and block until it is bound.
+
+    The gateway binds an ephemeral port when constructed with ``port=0``;
+    after this returns, ``gateway.port`` holds the real port.
+    """
+    thread = threading.Thread(target=gateway.run, name="warp-gateway",
+                              daemon=True)
+    thread.start()
+    if not gateway.wait_ready(timeout):
+        raise RuntimeError("gateway did not come up within "
+                           f"{timeout} seconds")
+    return thread

@@ -38,7 +38,13 @@ from .jobs import (
     WarpJob,
     suite_sweep_jobs,
 )
-from .pool import WarpService, execute_job, process_artifact_cache
+from .pool import (
+    STORE_ENV_VAR,
+    WarpService,
+    configure_process_store,
+    execute_job,
+    process_artifact_cache,
+)
 from .scheduler import JobScheduler, ScheduledJob
 
 __all__ = [
@@ -56,6 +62,8 @@ __all__ = [
     "WarpService",
     "execute_job",
     "process_artifact_cache",
+    "configure_process_store",
+    "STORE_ENV_VAR",
     "JobScheduler",
     "ScheduledJob",
 ]

@@ -1,17 +1,38 @@
 """``repro-warp`` — command-line front end of the warp service.
 
-Two subcommands::
+Local subcommands::
 
     repro-warp suite [--benchmarks brev,matmul] [--configs paper,minimal]
                      [--engines threaded,interp] [--small] [--workers N]
+                     [--stages decompile,synthesis,...] [--store DIR]
                      [--repeat N] [--out report.json]
 
-runs the built-in suite sweep (benchmarks × configurations × engines)
-through the service, and ::
+runs the built-in suite sweep (benchmarks × configurations × engines;
+``--stages`` swaps registered CAD passes for every job of the sweep,
+entering each job's dedup key exactly like ``WarpJob(stages=...)``), and ::
 
     repro-warp jobs examples/service_jobs.json [--workers N] [--out ...]
 
-runs a declarative job file.  Job files are JSON::
+runs a declarative job file.  Networked subcommands::
+
+    repro-warp serve [--host H] [--port P] [--workers N]
+                     [--queue-limit N] [--store DIR]
+
+starts a WARPNET gateway fronting a warp service (``--store`` persists
+CAD artifacts across restarts), ::
+
+    repro-warp submit examples/service_jobs.json --gateway HOST:PORT
+                      [--no-wait] [--out report.json]
+
+submits a job file to a running gateway, and ::
+
+    repro-warp remote-suite --gateways H:P[,H:P...] [suite flags]
+
+runs the built-in sweep through remote gateways via the
+:class:`~repro.server.client.RemoteWorkerBackend` (one local relay shard
+per gateway, content-affinity routed).
+
+Job files are JSON::
 
     {"jobs": [
         {"name": "brev-fast", "benchmark": "brev", "engine": "threaded"},
@@ -61,30 +82,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def output(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--out", type=Path, default=None,
+                         help="write the JSON report here")
+        sub.add_argument("--quiet", action="store_true",
+                         help="suppress the table output")
+
     def common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--workers", type=int, default=0,
                          help="pool worker processes (0 = serial in-process, "
                               "the default)")
         sub.add_argument("--policy", choices=("priority", "fifo"),
                          default="priority", help="job ordering policy")
-        sub.add_argument("--out", type=Path, default=None,
-                         help="write the JSON report here")
-        sub.add_argument("--quiet", action="store_true",
-                         help="suppress the table output")
+        sub.add_argument("--store", type=Path, default=None,
+                         help="persistent on-disk CAD artifact store "
+                              "directory (created if missing; shared by "
+                              "pool workers)")
+        output(sub)
+
+    def sweep_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--benchmarks", default=None,
+                         help="comma-separated benchmark names "
+                              "(default: the full six-benchmark suite)")
+        sub.add_argument("--configs", default="paper",
+                         help=f"comma-separated configuration names from "
+                              f"{sorted(NAMED_CONFIGS)} (default: paper)")
+        sub.add_argument("--engines", default="threaded",
+                         help="comma-separated engines from (threaded, "
+                              "interp)")
+        sub.add_argument("--small", action="store_true",
+                         help="use the reduced-size benchmark parameters")
+        sub.add_argument("--stages", default=None,
+                         help="comma-separated CAD stage names replacing the "
+                              "default flow for every job of the sweep "
+                              "(e.g. decompile,synthesis,place,route-greedy,"
+                              "implement,binary-update); part of each job's "
+                              "dedup key, exactly like a job file's "
+                              "'stages' field")
 
     suite = subparsers.add_parser(
         "suite", help="run the built-in suite sweep (benchmarks × configs "
                       "× engines)")
-    suite.add_argument("--benchmarks", default=None,
-                       help="comma-separated benchmark names "
-                            "(default: the full six-benchmark suite)")
-    suite.add_argument("--configs", default="paper",
-                       help=f"comma-separated configuration names from "
-                            f"{sorted(NAMED_CONFIGS)} (default: paper)")
-    suite.add_argument("--engines", default="threaded",
-                       help="comma-separated engines from (threaded, interp)")
-    suite.add_argument("--small", action="store_true",
-                       help="use the reduced-size benchmark parameters")
+    sweep_flags(suite)
     suite.add_argument("--repeat", type=int, default=1,
                        help="run the sweep N times through one service "
                             "(later repeats are served by the CAD cache)")
@@ -93,6 +132,40 @@ def _build_parser() -> argparse.ArgumentParser:
     jobs = subparsers.add_parser("jobs", help="run a JSON job file")
     jobs.add_argument("jobfile", type=Path)
     common(jobs)
+
+    serve = subparsers.add_parser(
+        "serve", help="start a WARPNET gateway fronting a warp service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7877,
+                       help="listening port (0 = ephemeral; default 7877)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="pool worker processes behind the gateway")
+    serve.add_argument("--policy", choices=("priority", "fifo"),
+                       default="priority")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission limit: queued+running jobs beyond "
+                            "this are rejected with a typed busy reply")
+    serve.add_argument("--store", type=Path, default=None,
+                       help="persistent CAD artifact store directory (the "
+                            "gateway starts warm after a restart)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a JSON job file to a running gateway")
+    submit.add_argument("jobfile", type=Path)
+    submit.add_argument("--gateway", default="127.0.0.1:7877",
+                        help="gateway address host:port")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="enqueue and print the batch id instead of "
+                             "waiting for the report")
+    output(submit)
+
+    remote = subparsers.add_parser(
+        "remote-suite", help="run the built-in sweep on remote gateways "
+                             "via the RemoteWorkerBackend")
+    remote.add_argument("--gateways", required=True,
+                        help="comma-separated gateway addresses host:port")
+    sweep_flags(remote)
+    output(remote)
     return parser
 
 
@@ -177,43 +250,33 @@ def _split(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-# --------------------------------------------------------------------------- entry point
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+# --------------------------------------------------------------------------- helpers
+def _sweep_jobs_from_args(args) -> List[WarpJob]:
+    configs = []
+    for label in _split(args.configs):
+        if label not in NAMED_CONFIGS:
+            raise JobSpecError(f"unknown config {label!r}; choose "
+                               f"from {sorted(NAMED_CONFIGS)}")
+        configs.append((label, NAMED_CONFIGS[label]))
+    engines = _split(args.engines)
+    benchmarks = _split(args.benchmarks) if args.benchmarks else None
+    stages = _split(args.stages) if args.stages else None
+    return suite_sweep_jobs(configs=configs, engines=engines,
+                            benchmarks=benchmarks, small=args.small,
+                            stages=stages)
 
-    try:
-        if args.command == "suite":
-            configs = []
-            for label in _split(args.configs):
-                if label not in NAMED_CONFIGS:
-                    raise JobSpecError(f"unknown config {label!r}; choose "
-                                       f"from {sorted(NAMED_CONFIGS)}")
-                configs.append((label, NAMED_CONFIGS[label]))
-            engines = _split(args.engines)
-            benchmarks = _split(args.benchmarks) if args.benchmarks else None
-            jobs = suite_sweep_jobs(configs=configs, engines=engines,
-                                    benchmarks=benchmarks, small=args.small)
-            repeats = max(1, args.repeat)
-        else:
-            jobs = load_job_file(args.jobfile)
-            repeats = 1
-    except JobSpecError as error:
-        print(f"repro-warp: {error}", file=sys.stderr)
-        return 2
 
-    with WarpService(workers=args.workers, policy=args.policy) as service:
-        reports: List[ServiceReport] = []
-        for _ in range(repeats):
-            reports.append(service.run(jobs))
+def _emit_reports(reports: List[ServiceReport], args) -> int:
+    """Print and/or write the reports; exit code reflects job failures in
+    *any* sweep (a warm repeat can mask a cold-sweep worker death)."""
     report = reports[-1]
-
+    repeats = len(reports)
     if not args.quiet:
         for index, item in enumerate(reports):
             if repeats > 1:
                 print(f"--- sweep {index + 1}/{repeats} ---")
             print(item.summary())
             print()
-
     if args.out is not None:
         plain = report.to_plain()
         if repeats > 1:
@@ -225,10 +288,111 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.out.write_text(json.dumps(plain, indent=2) + "\n")
         if not args.quiet:
             print(f"report written to {args.out}")
-
-    # A failure in *any* sweep fails the invocation, not just the last one
-    # (a warm repeat can mask a cold-sweep worker death otherwise).
     return 1 if any(item.num_failed for item in reports) else 0
+
+
+# ---------------------------------------------------------------- networked verbs
+def _cmd_serve(args) -> int:
+    from ..server.gateway import WarpGateway, start_gateway_thread
+
+    gateway = WarpGateway(host=args.host, port=args.port,
+                          workers=args.workers, policy=args.policy,
+                          queue_limit=args.queue_limit,
+                          store_path=args.store)
+    thread = start_gateway_thread(gateway)
+    print(f"repro-warp gateway listening on {gateway.address} "
+          f"[{gateway.service.mode}, workers={gateway.service.workers}, "
+          f"queue limit {gateway.queue_limit} jobs"
+          + (f", store {args.store}" if args.store else "")
+          + "]; stop with the shutdown verb or Ctrl-C", flush=True)
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        gateway.request_stop()
+        thread.join(timeout=30)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from ..server import client as server_client
+    from ..server.protocol import GatewayBusyError, HandshakeError, \
+        ProtocolError, RemoteError
+
+    jobs = load_job_file(args.jobfile)
+    try:
+        server_client.parse_address(args.gateway)
+    except ValueError as error:
+        raise JobSpecError(str(error)) from error
+    try:
+        with server_client.GatewayClient(args.gateway) as client:
+            if args.no_wait:
+                batch_id = client.submit(jobs, wait=False)
+                print(batch_id)
+                return 0
+            report = client.submit(jobs, wait=True)
+    except GatewayBusyError as error:
+        print(f"repro-warp: gateway busy (429): {error}", file=sys.stderr)
+        return 3
+    except (HandshakeError, ProtocolError, RemoteError,
+            ConnectionError, OSError) as error:
+        print(f"repro-warp: gateway {args.gateway}: {error}",
+              file=sys.stderr)
+        return 3
+    return _emit_reports([report], args)
+
+
+def _cmd_remote_suite(args, jobs: List[WarpJob]) -> int:
+    from ..server.client import RemoteWorkerBackend
+
+    addresses = _split(args.gateways)
+    try:
+        backend = RemoteWorkerBackend(addresses)
+    except ValueError as error:
+        raise JobSpecError(str(error)) from error
+    # One local relay shard per gateway: the shard digest and the
+    # backend's gateway digest agree, so each shard talks to exactly one
+    # gateway and the gateways execute concurrently.
+    workers = len(addresses) if len(addresses) > 1 else 0
+    try:
+        with WarpService(workers=workers, worker_fn=backend) as service:
+            report = service.run(jobs)
+    finally:
+        backend.close()
+    return _emit_reports([report], args)
+
+
+# --------------------------------------------------------------------------- entry point
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "remote-suite":
+            return _cmd_remote_suite(args, _sweep_jobs_from_args(args))
+        if args.command == "suite":
+            jobs = _sweep_jobs_from_args(args)
+            repeats = max(1, args.repeat)
+        else:
+            jobs = load_job_file(args.jobfile)
+            repeats = 1
+    except JobSpecError as error:
+        print(f"repro-warp: {error}", file=sys.stderr)
+        return 2
+
+    artifact_cache = None
+    if args.store is not None:
+        from .pool import configure_process_store
+        artifact_cache = configure_process_store(args.store)
+
+    with WarpService(workers=args.workers, policy=args.policy,
+                     artifact_cache=artifact_cache) as service:
+        reports: List[ServiceReport] = []
+        for _ in range(repeats):
+            reports.append(service.run(jobs))
+    return _emit_reports(reports, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, replace
+from dataclasses import fields as dataclasses_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cad import (
     SOURCE_BUNDLE,
+    SOURCE_DISK,
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_NEGATIVE,
@@ -42,8 +44,9 @@ STAGE_METRIC_ORDER = ("wall ms", "hits", "misses", "hit rate")
 
 #: Stage record sources that count as stage-level cache hits (the bundle
 #: fast path serves every bundled stage at once; a negative hit replays a
-#: memoized capacity rejection without re-running the stage).
-_STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE)
+#: memoized capacity rejection without re-running the stage; a disk hit is
+#: served by the persistent store tier — also tallied separately).
+_STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE, SOURCE_DISK)
 
 
 class JobSpecError(ValueError):
@@ -148,6 +151,9 @@ class ServiceResult:
     cad_cache_hit: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Stage lookups served by the persistent disk store tier (counted
+    #: separately from in-memory stage hits).
+    cache_disk_hits: int = 0
     #: Per-stage CAD flow accounting: host wall milliseconds per stage and
     #: how each stage was satisfied ("miss"/"hit"/"bundle"/"negative-hit"/
     #: "uncached"); memoized capacity rejections served to this job.
@@ -171,6 +177,17 @@ class ServiceResult:
 
     def to_plain(self) -> Dict:
         return asdict(self)
+
+    @classmethod
+    def from_plain(cls, plain: Dict) -> "ServiceResult":
+        """Rebuild a result from :meth:`to_plain` output (wire transport).
+
+        Unknown keys are ignored so a newer gateway can talk to an older
+        client; missing keys fall back to the dataclass defaults.
+        """
+        names = {f.name for f in dataclasses_fields(cls)}
+        return cls(**{key: value for key, value in plain.items()
+                      if key in names})
 
 
 @dataclass
@@ -209,6 +226,11 @@ class ServiceReport:
         """Memoized capacity rejections served across the batch."""
         return sum(result.cache_negative_hits for result in self.results)
 
+    @property
+    def cache_disk_hits(self) -> int:
+        """Stage lookups served by the persistent disk store tier."""
+        return sum(result.cache_disk_hits for result in self.results)
+
     def succeeded(self) -> List[ServiceResult]:
         return [result for result in self.results if result.ok]
 
@@ -224,16 +246,23 @@ class ServiceReport:
 
     def stage_summary(self) -> List[Tuple[str, Dict[str, float]]]:
         """Per-stage aggregate: total host wall ms, cache hits/misses and
-        the stage-level hit rate across every executed job."""
+        the stage-level hit rate across every executed job.
+
+        ``hits`` counts every cache-served stage (memory, bundle, negative
+        and disk); ``disk hits`` additionally breaks out the subset served
+        by the persistent store tier.
+        """
         entries: List[Tuple[str, Dict[str, float]]] = []
         for stage in self.stage_order():
             wall_ms = 0.0
-            hits = misses = 0
+            hits = misses = disk = 0
             for result in self.results:
                 wall_ms += result.stage_wall_ms.get(stage, 0.0)
                 source = result.stage_cache.get(stage)
                 if source in _STAGE_HIT_SOURCES:
                     hits += 1
+                    if source == SOURCE_DISK:
+                        disk += 1
                 elif source == SOURCE_MISS:
                     misses += 1
             lookups = hits + misses
@@ -241,6 +270,7 @@ class ServiceReport:
                 "wall ms": wall_ms,
                 "hits": hits,
                 "misses": misses,
+                "disk hits": disk,
                 "hit rate": hits / lookups if lookups else 0.0,
             }))
         return entries
@@ -305,12 +335,14 @@ class ServiceReport:
                 "misses": self.cache_misses,
                 "hit_rate": round(self.cache_hit_rate, 4),
                 "negative_hits": self.cache_negative_hits,
+                "disk_hits": self.cache_disk_hits,
             },
             "stages": {
                 stage: {
                     "wall_ms": round(metrics["wall ms"], 4),
                     "hits": metrics["hits"],
                     "misses": metrics["misses"],
+                    "disk_hits": metrics["disk hits"],
                     "hit_rate": round(metrics["hit rate"], 4),
                 }
                 for stage, metrics in self.stage_summary()
@@ -326,6 +358,22 @@ class ServiceReport:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_plain(), indent=indent)
 
+    @classmethod
+    def from_plain(cls, plain: Dict) -> "ServiceReport":
+        """Rebuild a report from :meth:`to_plain` output (wire transport).
+
+        Only the results and run metadata are carried; tables and
+        aggregate counters are derived properties and recompute
+        identically on the receiving side.
+        """
+        return cls(
+            results=[ServiceResult.from_plain(entry)
+                     for entry in plain.get("jobs", [])],
+            wall_seconds=plain.get("wall_seconds", 0.0),
+            mode=plain.get("mode", "serial"),
+            workers=plain.get("workers", 0),
+        )
+
 
 # --------------------------------------------------------------------------- sweeps
 def suite_sweep_jobs(
@@ -335,17 +383,22 @@ def suite_sweep_jobs(
     small: bool = False,
     wcla: WclaParameters = DEFAULT_WCLA,
     max_instructions: int = 50_000_000,
+    stages: Optional[Sequence[str]] = None,
 ) -> List[WarpJob]:
     """The built-in suite sweep: benchmarks × configurations × engines.
 
     ``configs`` is a sequence of ``(label, config)`` pairs, defaulting to
-    the paper configuration alone.
+    the paper configuration alone.  ``stages`` optionally swaps registered
+    CAD flow passes for every job of the sweep (validated by
+    :class:`WarpJob`, and part of each job's dedup key exactly like
+    ``WarpJob(stages=...)``).
     """
     from ..apps import benchmark_names
 
     if configs is None:
         configs = [("paper", PAPER_CONFIG)]
     names = list(benchmarks) if benchmarks else benchmark_names()
+    stages = tuple(stages) if stages is not None else None
     jobs: List[WarpJob] = []
     for name in names:
         for label, config in configs:
@@ -359,6 +412,7 @@ def suite_sweep_jobs(
                     wcla=wcla,
                     engine=engine,
                     max_instructions=max_instructions,
+                    stages=stages,
                 ))
     return jobs
 
@@ -373,4 +427,5 @@ def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
     return replace(result, job_name=job.name, config_label=job.config_label,
                    deduped_from=result.job_name,
                    cache_hits=0, cache_misses=0, cache_negative_hits=0,
+                   cache_disk_hits=0,
                    stage_wall_ms={}, stage_cache={}, wall_seconds=0.0)

@@ -30,15 +30,16 @@ lazily; subsequent batches run normally.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..cad import SOURCE_NEGATIVE
+from ..cad import SOURCE_DISK, SOURCE_NEGATIVE
 from ..compiler import compile_source_cached
+from ..digest import shard_index
 from ..microblaze.cpu import DEFAULT_ENGINE
 from ..power.energy import microblaze_energy, warp_energy
 from ..warp.processor import WarpProcessor
@@ -49,17 +50,56 @@ from .scheduler import JobScheduler, ScheduledJob
 # --------------------------------------------------------------------------- per-process cache
 _PROCESS_CACHE: Optional[CadArtifactCache] = None
 
+#: Environment variable naming a persistent on-disk artifact store
+#: directory.  It is read when the per-process cache is first created, so
+#: setting it before a pool spins up makes every worker — a forked local
+#: shard or a gateway started from the CLI — share one store.
+STORE_ENV_VAR = "REPRO_CAD_STORE"
+
+
+def _store_from_environment():
+    path = os.environ.get(STORE_ENV_VAR)
+    if not path:
+        return None
+    from ..server.store import DiskArtifactStore
+    return DiskArtifactStore(path)
+
 
 def process_artifact_cache() -> CadArtifactCache:
     """The calling process's CAD artifact cache (created on first use).
 
     In a pool worker this is the per-worker warm cache; in serial mode it
-    is the service process's own.  Tests reset it with ``.clear()``.
+    is the service process's own.  When :data:`STORE_ENV_VAR` names a
+    directory, the cache is backed by a persistent
+    :class:`~repro.server.store.DiskArtifactStore` tier.  Tests reset it
+    with ``.clear()`` (memory tiers only).
     """
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
-        _PROCESS_CACHE = CadArtifactCache()
+        _PROCESS_CACHE = CadArtifactCache(store=_store_from_environment())
     return _PROCESS_CACHE
+
+
+def configure_process_store(path) -> CadArtifactCache:
+    """Attach a persistent store at ``path`` to this process (and, via the
+    environment, to every worker process created afterwards).
+
+    The store is *process-wide* state (it backs the per-process cache and
+    the environment workers inherit), so reconfiguring to a different
+    path is refused rather than silently redirecting whoever attached
+    the first store.  Calling again with the same path is a no-op.
+    """
+    cache = process_artifact_cache()
+    store = cache.disk_store
+    if store is not None and getattr(store, "root", None) != Path(str(path)):
+        raise ValueError(
+            f"this process already persists CAD artifacts to {store.root}; "
+            f"refusing to redirect it to {path} (one store per process — "
+            f"run a second gateway in its own process instead)")
+    os.environ[STORE_ENV_VAR] = str(path)
+    if store is None:
+        cache.disk_store = _store_from_environment()
+    return cache
 
 
 # --------------------------------------------------------------------------- job execution
@@ -115,6 +155,9 @@ def execute_job(job: WarpJob,
         result.cache_negative_hits = sum(
             1 for record in outcome.stage_records
             if record.source == SOURCE_NEGATIVE)
+        result.cache_disk_hits = sum(
+            1 for record in outcome.stage_records
+            if record.source == SOURCE_DISK)
 
         mb_energy = microblaze_energy(warp.software_seconds,
                                       job.config.clock_mhz)
@@ -146,15 +189,27 @@ def _worker_entry(job: WarpJob) -> ServiceResult:
     return execute_job(job)
 
 
-def _worker_died(job: WarpJob, error: BaseException) -> ServiceResult:
+def _failed_result(job: WarpJob, message: str) -> ServiceResult:
     return ServiceResult(
         job_name=job.name,
         workload=job.benchmark if job.benchmark else "<inline source>",
         config_label=job.config_label,
         engine=job.engine if job.engine else DEFAULT_ENGINE,
         ok=False,
-        error=f"worker process died while running this job: {error}",
+        error=message,
     )
+
+
+def _worker_died(job: WarpJob, error: BaseException) -> ServiceResult:
+    return _failed_result(
+        job, f"worker process died while running this job: {error}")
+
+
+def _backend_failed(job: WarpJob, error: BaseException) -> ServiceResult:
+    """A backend raised instead of returning a result — report *what* it
+    raised (e.g. a gateway's typed busy rejection), not a worker death."""
+    return _failed_result(
+        job, f"worker backend error: {type(error).__name__}: {error}")
 
 
 # --------------------------------------------------------------------------- the service
@@ -172,6 +227,12 @@ class WarpService:
     def __init__(self, workers: int = 0, policy: str = "priority",
                  artifact_cache: Optional[CadArtifactCache] = None,
                  worker_fn: Callable[[WarpJob], ServiceResult] = _worker_entry):
+        """``worker_fn`` is the backend seam: any ``WarpJob ->
+        ServiceResult`` callable, picklable by reference (or by value, e.g.
+        :class:`repro.server.client.RemoteWorkerBackend`, which fans jobs
+        out to networked gateway processes).  With ``workers=0`` a custom
+        backend runs in-process, one job at a time; with ``workers>=1`` it
+        runs inside the content-affinity sharded pool."""
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial in-process)")
         self.workers = workers
@@ -192,15 +253,17 @@ class WarpService:
     def _shard_index(self, job: WarpJob) -> int:
         """Content-affinity routing: same job content, same worker.
 
-        A stable digest rather than the builtin ``hash()``: string hashing
-        is salted per interpreter launch (``PYTHONHASHSEED``), which would
-        make job-to-worker distribution — and therefore pool load balance
-        and benchmark wall times — random per run.  ``dedup_key()`` is a
-        tuple of strings/bools/ints and frozen dataclasses whose ``repr``
-        is deterministic and field-ordered.
+        A stable digest (:func:`repro.digest.shard_index`) rather than the
+        builtin ``hash()``: string hashing is salted per interpreter launch
+        (``PYTHONHASHSEED``), which would make job-to-worker distribution —
+        and therefore pool load balance and benchmark wall times — random
+        per run.  ``dedup_key()`` is a tuple of strings/bools/ints and
+        frozen dataclasses whose ``repr`` is deterministic and
+        field-ordered.  :class:`repro.server.client.RemoteWorkerBackend`
+        routes jobs to gateways with the same digest, so a pool of remote
+        shards keeps the same content affinity as a local one.
         """
-        digest = hashlib.sha256(repr(job.dedup_key()).encode()).digest()
-        return int.from_bytes(digest[:8], "big") % self.workers
+        return shard_index(repr(job.dedup_key()), self.workers)
 
     def _shard(self, index: int) -> ProcessPoolExecutor:
         executor = self._shards.get(index)
@@ -240,6 +303,12 @@ class WarpService:
         start = time.perf_counter()
         if self.workers >= 1:
             primary = self._run_pooled(plan)
+        elif self._worker_fn is not _worker_entry:
+            # Custom backend, serial: every job goes through the backend
+            # seam (a backend that raises is isolated to a failed result,
+            # matching the in-process contract that jobs never raise).
+            primary = {slot.job.name: self._run_backend(slot.job)
+                       for slot in plan}
         else:
             primary = {slot.job.name: execute_job(slot.job, self.artifact_cache)
                        for slot in plan}
@@ -270,7 +339,7 @@ class WarpService:
                 broken.append(slot)
                 dead_shards.add(shard)
             except Exception as error:  # noqa: BLE001 - submission-side fault
-                results[slot.job.name] = _worker_died(slot.job, error)
+                results[slot.job.name] = _backend_failed(slot.job, error)
         for shard in dead_shards:
             # The shard's worker died; drop the executor (a fresh one is
             # created lazily on the next submission to this shard).
@@ -280,6 +349,12 @@ class WarpService:
             # innocent victims complete, the actual crasher fails cleanly.
             results[slot.job.name] = self._retry_isolated(slot.job)
         return results
+
+    def _run_backend(self, job: WarpJob) -> ServiceResult:
+        try:
+            return self._worker_fn(job)
+        except Exception as error:  # noqa: BLE001 - backend isolation boundary
+            return _backend_failed(job, error)
 
     def _retry_isolated(self, job: WarpJob) -> ServiceResult:
         try:

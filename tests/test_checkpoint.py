@@ -305,13 +305,25 @@ class TestValidation:
             restore_checkpoint(system, b"not a checkpoint")
 
     def test_future_version_rejected(self, compiled_small_programs):
+        """An unknown CHECKPOINT_VERSION is rejected *loudly*: the error
+        names both the blob's version and the version this build reads."""
+        from repro.microblaze.checkpoint import CHECKPOINT_VERSION
+
         _, blob = _checkpoint_mid_run(compiled_small_programs["brev"],
                                       "threaded")
         tampered = CHECKPOINT_MAGIC + (999).to_bytes(2, "big") \
             + blob[len(CHECKPOINT_MAGIC) + 2:]
         system = MicroBlazeSystem(config=PAPER_CONFIG)
-        with pytest.raises(CheckpointError, match="version"):
+        with pytest.raises(CheckpointError) as excinfo:
             restore_checkpoint(system, tampered)
+        message = str(excinfo.value)
+        assert "999" in message
+        assert str(CHECKPOINT_VERSION) in message
+        # describe_checkpoint (diagnostics) must refuse the same blob, not
+        # return half-decoded metadata.
+        from repro.microblaze.checkpoint import describe_checkpoint
+        with pytest.raises(CheckpointError):
+            describe_checkpoint(tampered)
 
     def test_config_mismatch_rejected(self, compiled_small_programs):
         _, blob = _checkpoint_mid_run(compiled_small_programs["brev"],

@@ -1,0 +1,649 @@
+"""The networked warp service: wire protocol, disk store, gateway, remote
+worker backend, and the server-side CLI verbs."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pickle
+import socket
+import time
+
+import pytest
+
+from repro.cad import (
+    CadArtifactCache,
+    CapacityRejection,
+    SOURCE_DISK,
+    is_negative_artifact,
+)
+from repro.cad.keys import content_digest
+from repro.digest import digest_int, sha256_hex, shard_index
+from repro.fabric.architecture import FabricParameters, WclaParameters
+from repro.microblaze import PAPER_CONFIG
+from repro.server import (
+    DiskArtifactStore,
+    DiskStoreError,
+    DiskStoreSchemaError,
+    GatewayBusyError,
+    GatewayClient,
+    HandshakeError,
+    ProtocolError,
+    RemoteError,
+    RemoteWorkerBackend,
+    STORE_MAGIC,
+    STORE_SCHEMA_VERSION,
+    WarpGateway,
+    close_pooled_clients,
+    start_gateway_thread,
+)
+from repro.server import protocol
+from repro.service import ServiceReport, WarpJob, WarpService, execute_job
+from repro.service.cli import load_job_file, main
+from repro.service.jobs import ServiceResult
+
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: Result fields that must be byte-identical between a remote and an
+#: in-process execution of the same job (host wall times excluded).
+DETERMINISTIC_FIELDS = (
+    "job_name", "workload", "config_label", "ok", "error", "partitioned",
+    "partition_reason", "checksum_ok", "speedup", "software_ms", "warp_ms",
+    "dpm_ms", "mb_energy_mj", "warp_energy_mj", "normalized_warp_energy",
+    "cad_cache_hit", "cache_hits", "cache_misses", "stage_cache",
+    "deduped_from",
+)
+
+
+def _small_jobs():
+    return [
+        WarpJob(name="brev-s", benchmark="brev", small=True, priority=2),
+        WarpJob(name="brev-s-twin", benchmark="brev", small=True),
+        WarpJob(name="idct-greedy", benchmark="idct", small=True,
+                stages=("decompile", "synthesis", "place", "route-greedy",
+                        "implement", "binary-update")),
+    ]
+
+
+def _assert_results_identical(remote, local):
+    assert [r.job_name for r in remote] == [r.job_name for r in local]
+    for a, b in zip(remote, local):
+        for field in DETERMINISTIC_FIELDS:
+            assert getattr(a, field) == getattr(b, field), \
+                f"{a.job_name}: {field}"
+        assert set(a.stage_wall_ms) == set(b.stage_wall_ms), a.job_name
+
+
+def _slow_worker(job):
+    """Backend that holds the admission queue occupied long enough for a
+    deterministic busy-rejection window."""
+    time.sleep(0.4)
+    return execute_job(job)
+
+
+@contextlib.contextmanager
+def running_gateway(**kwargs):
+    """A gateway on a daemon thread, bound to an ephemeral port, torn down
+    (and its pooled client connections dropped) on exit."""
+    kwargs.setdefault("port", 0)
+    gateway = WarpGateway(**kwargs)
+    thread = start_gateway_thread(gateway)
+    try:
+        yield gateway
+    finally:
+        gateway.request_stop()
+        thread.join(timeout=30)
+        close_pooled_clients()
+
+
+# --------------------------------------------------------------------------- digests
+class TestDigestHelpers:
+    def test_sha256_hex_is_the_cad_content_digest(self):
+        """Satellite: one digest implementation everywhere — the CAD key
+        helper is an alias, byte-for-byte (existing digests stay valid)."""
+        import hashlib
+
+        parts = ("bundle", "v1\nupdate r3 0", "WclaParameters(...)")
+        reference = hashlib.sha256()
+        for part in parts:
+            reference.update(part.encode())
+            reference.update(b"\x00")
+        assert sha256_hex(*parts) == reference.hexdigest()
+        assert content_digest(*parts) == sha256_hex(*parts)
+
+    def test_shard_index_matches_the_seed_routing_formula(self):
+        """Pool shard routing must not change across the refactor: same
+        digest (first 8 bytes, big-endian) mod shard count."""
+        import hashlib
+
+        job = WarpJob(name="j", benchmark="brev", small=True)
+        text = repr(job.dedup_key())
+        expected = int.from_bytes(
+            hashlib.sha256(text.encode()).digest()[:8], "big")
+        assert digest_int(text) == expected
+        for shards in (1, 2, 3, 7):
+            assert shard_index(text, shards) == expected % shards
+        service = WarpService(workers=4)
+        assert service._shard_index(job) == expected % 4
+
+    def test_shard_index_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            shard_index("x", 0)
+
+
+# --------------------------------------------------------------------------- protocol
+class TestWireProtocol:
+    def test_frame_roundtrip_over_a_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"verb": "status", "batch_id": "batch-1",
+                       "nested": {"x": [1, 2, 3]}}
+            protocol.send_frame(a, payload)
+            assert protocol.recv_frame(b) == payload
+            a.close()
+            assert protocol.recv_frame(b) is None  # clean EOF
+        finally:
+            b.close()
+
+    def test_oversized_frame_length_is_rejected_not_allocated(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            a.close()
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_is_an_error_not_none(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"verb": "status"})
+            a.sendall(frame[:-3])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_object_body_is_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_handshake_version_mismatch_is_a_typed_error(self):
+        with pytest.raises(HandshakeError, match="version"):
+            protocol.check_hello({"magic": protocol.PROTOCOL_MAGIC,
+                                  "version": protocol.PROTOCOL_VERSION + 1})
+        with pytest.raises(HandshakeError, match="WARPNET"):
+            protocol.check_hello({"magic": "HTTP/1.1", "version": 1})
+        with pytest.raises(HandshakeError, match="closed"):
+            protocol.check_hello(None)
+
+    def test_job_codec_preserves_content_identity(self):
+        """A job survives the wire with its dedup key (and therefore its
+        CAD cache addresses) intact — config, WCLA and stages included."""
+        import dataclasses
+
+        job = WarpJob(
+            name="wire", benchmark="idct", small=True,
+            config=dataclasses.replace(PAPER_CONFIG, use_multiplier=False),
+            config_label="no-mul",
+            wcla=WclaParameters(fabric=FabricParameters(channel_width=6),
+                                num_registers=4),
+            engine="interp", max_instructions=123_456, priority=7,
+            stages=("decompile", "synthesis", "place", "route-greedy",
+                    "implement", "binary-update"),
+        )
+        clone = protocol.job_from_plain(
+            json.loads(json.dumps(protocol.job_to_plain(job))))
+        assert clone.dedup_key() == job.dedup_key()
+        assert clone.name == job.name and clone.priority == job.priority
+        assert clone.config == job.config and clone.wcla == job.wcla
+
+    def test_result_and_report_roundtrip(self):
+        result = ServiceResult(job_name="j", workload="brev",
+                               config_label="paper", engine="threaded",
+                               speedup=2.5, cache_disk_hits=3,
+                               stage_cache={"synthesis": "disk-hit"})
+        report = ServiceReport(results=[result], wall_seconds=1.25,
+                               mode="serial", workers=0)
+        clone = ServiceReport.from_plain(
+            json.loads(json.dumps(report.to_plain())))
+        assert clone.results[0] == result
+        assert clone.mode == "serial" and clone.wall_seconds == 1.25
+        assert clone.cache_disk_hits == 3
+
+
+# --------------------------------------------------------------------------- disk store
+class TestDiskArtifactStore:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = DiskArtifactStore(tmp_path / "store")
+        assert store.stage_get("synthesis", "a" * 8) is None
+        store.stage_put("synthesis", "a" * 8, {"luts": 12})
+        assert store.stage_get("synthesis", "a" * 8) == {"luts": 12}
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1 and stats["entries"] == 1
+        assert stats["schema"] == STORE_SCHEMA_VERSION
+
+    def test_entries_survive_a_new_instance(self, tmp_path):
+        DiskArtifactStore(tmp_path).stage_put("place", "k1", (1, 2, 3))
+        assert DiskArtifactStore(tmp_path).stage_get("place", "k1") == (1, 2, 3)
+
+    def test_capacity_rejections_persist(self, tmp_path):
+        DiskArtifactStore(tmp_path).stage_put(
+            "place", "k", CapacityRejection(message="too big"))
+        value = DiskArtifactStore(tmp_path).stage_get("place", "k")
+        assert isinstance(value, CapacityRejection)
+        assert is_negative_artifact(value)
+
+    def test_mtime_lru_eviction_is_size_bounded(self, tmp_path):
+        store = DiskArtifactStore(tmp_path, max_bytes=None)
+        for index in range(4):
+            store.stage_put("route", f"key{index}", b"x" * 64)
+        # Age the first two entries explicitly (mtime is the LRU clock).
+        now = time.time()
+        for index, age in ((0, 1000), (1, 500)):
+            path = store._entry_path("route", f"key{index}")
+            os.utime(path, (now - age, now - age))
+        store.max_bytes = store.size_bytes() - 1  # force eviction of >= 1
+        store.stage_put("route", "key4", b"x" * 64)
+        assert store.stage_get("route", "key0") is None  # oldest went first
+        assert store.stage_get("route", "key4") == b"x" * 64
+        assert store.evictions >= 1
+        assert store.size_bytes() <= store.max_bytes
+
+    def test_unknown_entry_schema_version_is_rejected_loudly(self, tmp_path):
+        """Satellite: a stale on-disk format must raise a clear error that
+        names both versions — never decode garbage, never silently miss."""
+        store = DiskArtifactStore(tmp_path)
+        store.stage_put("synthesis", "k", {"x": 1})
+        path = store._entry_path("synthesis", "k")
+        blob = path.read_bytes()
+        path.write_bytes(STORE_MAGIC + (999).to_bytes(2, "big")
+                         + blob[len(STORE_MAGIC) + 2:])
+        with pytest.raises(DiskStoreSchemaError) as excinfo:
+            store.stage_get("synthesis", "k")
+        assert "999" in str(excinfo.value)
+        assert str(STORE_SCHEMA_VERSION) in str(excinfo.value)
+
+    def test_bad_magic_and_corrupt_payload_are_loud(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = store._entry_path("route", "bad")
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(DiskStoreError, match="magic"):
+            store.stage_get("route", "bad")
+        path.write_bytes(STORE_MAGIC
+                         + STORE_SCHEMA_VERSION.to_bytes(2, "big")
+                         + b"truncated-not-zlib")
+        with pytest.raises(DiskStoreError, match="corrupt"):
+            store.stage_get("route", "bad")
+
+    def test_store_level_schema_marker_is_checked_at_open(self, tmp_path):
+        DiskArtifactStore(tmp_path)  # writes the marker
+        (tmp_path / "WARPDISK.schema").write_text("999\n")
+        with pytest.raises(DiskStoreSchemaError, match="999"):
+            DiskArtifactStore(tmp_path)
+
+    def test_clear_drops_entries_but_keeps_the_marker(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.stage_put("route", "k", 1)
+        store.clear()
+        assert len(store) == 0
+        assert (tmp_path / "WARPDISK.schema").exists()
+        DiskArtifactStore(tmp_path)  # still opens cleanly
+
+
+# ----------------------------------------------------------------- cache disk tier
+class TestCacheDiskTier:
+    def test_fresh_process_cache_warms_from_disk(self, tmp_path):
+        """A second *run* (fresh in-memory cache, same store directory) is
+        served by the disk tier, counted separately from memory hits."""
+        job = WarpJob(name="j", benchmark="brev", small=True)
+        cold = execute_job(job, CadArtifactCache(
+            store=DiskArtifactStore(tmp_path)))
+        assert cold.partitioned and cold.cache_disk_hits == 0
+
+        warm_cache = CadArtifactCache(store=DiskArtifactStore(tmp_path))
+        warm = execute_job(job, warm_cache)
+        assert warm.partitioned
+        assert warm.speedup == cold.speedup
+        assert warm.cad_cache_hit
+        bundled = [stage for stage, source in warm.stage_cache.items()
+                   if source != "uncached"]
+        assert bundled and all(warm.stage_cache[s] == SOURCE_DISK
+                               for s in bundled)
+        assert warm.cache_disk_hits == len(bundled)
+        # Counted separately: no *memory* stage hits happened at all.
+        assert warm_cache.disk_hits == len(bundled)
+        assert all(hits == 0 for hits, _ in
+                   warm_cache.stage_counters().values())
+        assert warm_cache.stats()["disk_hits"] == len(bundled)
+        assert warm_cache.stats()["store"]["hits"] == len(bundled)
+
+    def test_report_aggregates_disk_hits(self, tmp_path):
+        job = WarpJob(name="j", benchmark="brev", small=True)
+        execute_job(job, CadArtifactCache(store=DiskArtifactStore(tmp_path)))
+        warm = execute_job(job, CadArtifactCache(
+            store=DiskArtifactStore(tmp_path)))
+        report = ServiceReport(results=[warm])
+        assert report.cache_disk_hits == warm.cache_disk_hits > 0
+        plain = report.to_plain()
+        assert plain["cache"]["disk_hits"] == warm.cache_disk_hits
+        assert plain["stages"]["synthesis"]["disk_hits"] == 1
+        assert plain["stages"]["synthesis"]["hits"] == 1  # disk is a hit too
+
+    def test_memory_tier_still_wins_when_warm(self, tmp_path):
+        cache = CadArtifactCache(store=DiskArtifactStore(tmp_path),
+                                 bundle_fast_path=False)
+        job = WarpJob(name="j", benchmark="brev", small=True)
+        execute_job(job, cache)
+        second = execute_job(job, cache)
+        assert second.cache_disk_hits == 0  # served from memory
+        assert all(source in ("hit", "uncached")
+                   for source in second.stage_cache.values())
+
+
+# --------------------------------------------------------------------------- gateway
+class TestGateway:
+    def test_remote_submission_equals_in_process_execution(self):
+        """Acceptance: a suite run over localhost produces ServiceResults
+        identical to the serial in-process path (deterministic fields:
+        speedup/energy/modelled times/stage tables)."""
+        jobs = _small_jobs()
+        with running_gateway(service=WarpService(
+                workers=0, artifact_cache=CadArtifactCache())) as gateway:
+            with GatewayClient(gateway.address) as client:
+                remote = client.submit(jobs)
+        local = WarpService(workers=0,
+                            artifact_cache=CadArtifactCache()).run(jobs)
+        assert remote.num_failed == 0
+        _assert_results_identical(remote.results, local.results)
+        # Dedup happened on the gateway exactly as it does locally.
+        twin = {r.job_name: r for r in remote.results}["brev-s-twin"]
+        assert twin.deduped_from == "brev-s"
+
+    def test_status_stream_and_cache_stats(self):
+        jobs = [WarpJob(name="brev-s", benchmark="brev", small=True)]
+        with running_gateway() as gateway:
+            with GatewayClient(gateway.address) as client:
+                batch_id = client.submit(jobs, wait=False)
+                deadline = time.time() + 120
+                while True:
+                    status = client.status(batch_id)
+                    if status["state"] == "done":
+                        break
+                    assert time.time() < deadline, status
+                    time.sleep(0.05)
+                assert isinstance(status["report"], ServiceReport)
+                streamed = list(client.stream_results(batch_id))
+                assert [r.job_name for r in streamed] == ["brev-s"]
+                assert streamed[0] == status["report"].results[0]
+                stats = client.cache_stats()
+                assert stats["queue_limit"] > 0
+                assert stats["batches"][batch_id] == "done"
+                assert "hits" in stats["cache"]
+
+    def test_admission_limit_yields_typed_rejection(self):
+        """Acceptance: submitting past the admission limit yields a typed
+        429-style rejection on the client — not a hang or a crash."""
+        slow_service = WarpService(workers=0, worker_fn=_slow_worker)
+        with running_gateway(queue_limit=2, service=slow_service) as gateway:
+            with GatewayClient(gateway.address) as client:
+                # Fill the queue, then submit into the full queue while
+                # the first batch is still pending.
+                batch_id = client.submit(
+                    [WarpJob(name=f"q{i}", benchmark="brev", small=True)
+                     for i in range(2)], wait=False)
+                with pytest.raises(GatewayBusyError) as excinfo:
+                    client.submit([WarpJob(name="late", benchmark="brev",
+                                           small=True)])
+                assert excinfo.value.queue_limit == 2
+                assert excinfo.value.pending_jobs == 2
+                # Once the queue drains, the same submission is admitted:
+                # busy is transient, and the gateway survived it.
+                while client.status(batch_id)["state"] != "done":
+                    time.sleep(0.05)
+                report = client.submit([WarpJob(name="late", benchmark="brev",
+                                                small=True)])
+                assert report.num_failed == 0
+
+    def test_oversized_batches_are_rejected_as_unretryable(self):
+        """A batch that can never fit is not `busy` (retrying would loop
+        forever) but a distinct batch-too-large error."""
+        with running_gateway(queue_limit=2) as gateway:
+            with GatewayClient(gateway.address) as client:
+                with pytest.raises(RemoteError, match="batch-too-large"):
+                    client.submit([WarpJob(name=f"j{i}", benchmark="brev",
+                                           small=True) for i in range(3)])
+
+    def test_finished_batches_are_pruned_beyond_retention(self):
+        """A long-running gateway must not retain batch history without
+        bound: the oldest finished batches fall off."""
+        with running_gateway(retained_batches=2) as gateway:
+            with GatewayClient(gateway.address) as client:
+                for index in range(4):
+                    client.submit([WarpJob(name=f"j{index}",
+                                           benchmark="brev", small=True)])
+                stats = client.cache_stats()
+                assert len(stats["batches"]) <= 2
+                # The newest batch is still queryable, the oldest is gone.
+                assert client.status("batch-4")["state"] == "done"
+                with pytest.raises(RemoteError, match="unknown-batch"):
+                    client.status("batch-1")
+
+    def test_unknown_verb_and_unknown_batch_are_remote_errors(self):
+        with running_gateway() as gateway:
+            with GatewayClient(gateway.address) as client:
+                with pytest.raises(RemoteError, match="unknown-verb"):
+                    client._round_trip({"verb": "frobnicate"})
+                with pytest.raises(RemoteError, match="unknown-batch"):
+                    client.status("batch-999")
+
+    def test_gateway_rejects_foreign_protocol_versions(self):
+        with running_gateway() as gateway:
+            with socket.create_connection(("127.0.0.1", gateway.port),
+                                          timeout=30) as sock:
+                protocol.send_frame(sock, {"magic": protocol.PROTOCOL_MAGIC,
+                                           "version": 999})
+                reply = protocol.recv_frame(sock)
+                assert reply["ok"] is False
+                assert reply["error"] == "version-mismatch"
+            # A well-versioned client still connects afterwards.
+            with GatewayClient(gateway.address) as client:
+                assert client.cache_stats()["ok"]
+
+    def test_malformed_jobs_are_a_bad_jobs_error(self):
+        with running_gateway() as gateway:
+            with GatewayClient(gateway.address) as client:
+                with pytest.raises(RemoteError, match="bad-jobs"):
+                    client._round_trip({"verb": "submit", "jobs": []})
+
+    def test_abandoned_stream_leaves_the_connection_usable(self):
+        """Breaking out of stream_results mid-iteration must not leave
+        unread frames that desynchronize later verbs."""
+        jobs = [WarpJob(name=f"j{i}", benchmark="brev", small=True)
+                for i in range(3)]
+        with running_gateway() as gateway:
+            with GatewayClient(gateway.address) as client:
+                client.submit(jobs)  # warm: the streamed batch is instant
+                batch_id = client.submit([WarpJob(name="s0",
+                                                  benchmark="brev",
+                                                  small=True),
+                                          WarpJob(name="s1",
+                                                  benchmark="idct",
+                                                  small=True)],
+                                         wait=False)
+                while client.status(batch_id)["state"] != "done":
+                    time.sleep(0.05)
+                for result in client.stream_results(batch_id):
+                    break  # abandon after the first frame
+                # The connection is still frame-aligned.
+                stats = client.cache_stats()
+                assert stats["ok"] and "cache" in stats
+
+
+# ------------------------------------------------------------------ remote backend
+class TestRemoteWorkerBackend:
+    def test_serial_service_over_the_backend_is_identical(self):
+        """Acceptance: WarpService(worker_fn=RemoteWorkerBackend) over
+        localhost == the serial in-process path, result for result."""
+        jobs = _small_jobs()
+        with running_gateway(service=WarpService(
+                workers=0, artifact_cache=CadArtifactCache())) as gateway:
+            backend = RemoteWorkerBackend([gateway.address])
+            remote = WarpService(workers=0, worker_fn=backend).run(jobs)
+        local = WarpService(workers=0,
+                            artifact_cache=CadArtifactCache()).run(jobs)
+        assert remote.num_failed == 0
+        assert remote.mode == "serial"
+        _assert_results_identical(remote.results, local.results)
+
+    def test_pooled_fan_out_across_two_gateways(self):
+        """workers=len(gateways): each local relay shard ships its content
+        partition to 'its' gateway; numbers match the serial path."""
+        jobs = [WarpJob(name="brev-s", benchmark="brev", small=True),
+                WarpJob(name="idct-s", benchmark="idct", small=True),
+                WarpJob(name="matmul-s", benchmark="matmul", small=True)]
+        with contextlib.ExitStack() as stack:
+            gateways = [
+                stack.enter_context(running_gateway(service=WarpService(
+                    workers=0, artifact_cache=CadArtifactCache())))
+                for _ in range(2)
+            ]
+            backend = RemoteWorkerBackend([gw.address for gw in gateways])
+            with WarpService(workers=2, worker_fn=backend) as service:
+                remote = service.run(jobs)
+        local = WarpService(workers=0,
+                            artifact_cache=CadArtifactCache()).run(jobs)
+        assert remote.num_failed == 0 and remote.mode == "pool"
+        _assert_results_identical(remote.results, local.results)
+
+    def test_routing_is_stable_across_pickling(self):
+        backend = RemoteWorkerBackend([("127.0.0.1", 1), ("127.0.0.1", 2),
+                                       ("127.0.0.1", 3)])
+        clone = pickle.loads(pickle.dumps(backend))
+        for job in _small_jobs():
+            assert backend.address_for(job) == clone.address_for(job)
+
+    def test_dead_gateway_becomes_a_failed_result_not_a_crash(self):
+        # Bind-then-close guarantees a port nothing listens on.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        backend = RemoteWorkerBackend([("127.0.0.1", dead_port)],
+                                      timeout=5.0)
+        result = backend(WarpJob(name="j", benchmark="brev", small=True))
+        assert not result.ok
+        assert "remote gateway" in result.error
+
+    def test_backend_busy_rejection_is_reported_as_itself(self):
+        """A typed busy rejection surfacing through the backend seam must
+        not be mislabeled as a worker death."""
+        def busy_backend(job):
+            raise GatewayBusyError("admission queue is full",
+                                   pending_jobs=9, queue_limit=9)
+
+        report = WarpService(workers=0, worker_fn=busy_backend).run(
+            [WarpJob(name="j", benchmark="brev", small=True)])
+        result = report.results[0]
+        assert not result.ok
+        assert "GatewayBusyError" in result.error
+        assert "admission queue is full" in result.error
+        assert "died" not in result.error
+
+    def test_backend_requires_addresses(self):
+        with pytest.raises(ValueError):
+            RemoteWorkerBackend([])
+        with pytest.raises(ValueError):
+            RemoteWorkerBackend(["no-port-here"])
+
+
+# ----------------------------------------------------------------------- CLI verbs
+class TestServerCli:
+    def test_suite_stages_flag_threads_into_jobs(self, tmp_path):
+        """Satellite: `repro-warp suite --stages` selects alternate CAD
+        passes from the sweep CLI, dedup-keyed like WarpJob(stages=...)."""
+        out = tmp_path / "report.json"
+        code = main(["suite", "--benchmarks", "brev", "--small",
+                     "--stages", "decompile,synthesis,place,route-greedy,"
+                                 "implement,binary-update",
+                     "--out", str(out), "--quiet"])
+        assert code == 0
+        plain = json.loads(out.read_text())
+        assert plain["num_jobs"] == 1 and plain["num_failed"] == 0
+        # The greedy router filled the route slot.
+        assert "route" in plain["jobs"][0]["stage_cache"]
+
+        from repro.service.jobs import suite_sweep_jobs
+        stages = ("decompile", "synthesis", "place", "route-greedy",
+                  "implement", "binary-update")
+        with_stages = suite_sweep_jobs(benchmarks=["brev"], stages=stages)
+        without = suite_sweep_jobs(benchmarks=["brev"])
+        assert with_stages[0].stages == stages
+        assert with_stages[0].dedup_key() != without[0].dedup_key()
+
+    def test_suite_rejects_unknown_stage_lists(self, capsys):
+        code = main(["suite", "--benchmarks", "brev", "--small",
+                     "--stages", "synthesis,place", "--quiet"])
+        assert code == 2
+        assert "stage" in capsys.readouterr().err
+
+    def test_submit_cli_round_trip(self, tmp_path):
+        jobfile = EXAMPLES / "remote_jobs.json"
+        out = tmp_path / "remote.json"
+        with running_gateway(service=WarpService(
+                workers=0, artifact_cache=CadArtifactCache())) as gateway:
+            code = main(["submit", str(jobfile), "--gateway", gateway.address,
+                         "--out", str(out), "--quiet"])
+        assert code == 0
+        plain = json.loads(out.read_text())
+        assert plain["num_failed"] == 0
+        assert {job["job_name"] for job in plain["jobs"]} \
+            == {job.name for job in load_job_file(jobfile)}
+
+    def test_malformed_gateway_addresses_are_clean_cli_errors(self, capsys):
+        jobfile = EXAMPLES / "remote_jobs.json"
+        assert main(["submit", str(jobfile), "--gateway", "localhost",
+                     "--quiet"]) == 2
+        assert "host:port" in capsys.readouterr().err
+        assert main(["remote-suite", "--gateways", "nonsense",
+                     "--benchmarks", "brev", "--small", "--quiet"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_submit_cli_reports_unreachable_gateway(self, capsys):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        jobfile = EXAMPLES / "remote_jobs.json"
+        code = main(["submit", str(jobfile),
+                     "--gateway", f"127.0.0.1:{dead_port}", "--quiet"])
+        assert code == 3
+        assert "gateway" in capsys.readouterr().err
+
+    def test_remote_suite_cli(self):
+        with running_gateway(service=WarpService(
+                workers=0, artifact_cache=CadArtifactCache())) as gateway:
+            code = main(["remote-suite", "--gateways", gateway.address,
+                         "--benchmarks", "brev", "--small", "--quiet"])
+        assert code == 0
+
+
+# ------------------------------------------------------------------ gateway smoke
+def test_gateway_smoke_example_jobs():
+    """CI smoke: start a gateway, submit the example job file over
+    localhost, and assert report parity with the in-process results."""
+    jobs = load_job_file(EXAMPLES / "remote_jobs.json")
+    with running_gateway(service=WarpService(
+            workers=0, artifact_cache=CadArtifactCache())) as gateway:
+        with GatewayClient(gateway.address) as client:
+            remote = client.submit(jobs)
+    local = WarpService(workers=0,
+                        artifact_cache=CadArtifactCache()).run(jobs)
+    assert remote.num_failed == 0
+    _assert_results_identical(remote.results, local.results)
+    assert remote.speedup_table() == local.speedup_table()
+    assert remote.energy_table() == local.energy_table()
