@@ -23,12 +23,19 @@ from .checkpoint import (
 )
 from .config import MINIMAL_CONFIG, PAPER_CONFIG, MicroBlazeConfig, PipelineTimings
 from .cpu import (
-    DEFAULT_ENGINE,
     CPUError,
     ExecutionLimitExceeded,
     ExecutionStats,
     IllegalInstruction,
     MicroBlazeCPU,
+)
+from .engines import (
+    DEFAULT_ENGINE,
+    ExecutionEngine,
+    UnknownEngineError,
+    engine_names,
+    register_engine,
+    validate_engine_name,
 )
 from .memory import BlockRAM, LocalMemoryBus, MemoryError_
 from .opb import OPB_BASE_ADDRESS, BusError, OnChipPeripheralBus, SimplePeripheral
@@ -53,6 +60,11 @@ __all__ = [
     "run_slice",
     "spawn_from_checkpoint",
     "DEFAULT_ENGINE",
+    "ExecutionEngine",
+    "UnknownEngineError",
+    "engine_names",
+    "register_engine",
+    "validate_engine_name",
     "BranchObserver",
     "MINIMAL_CONFIG",
     "PAPER_CONFIG",

@@ -22,22 +22,21 @@ The timing model charges each instruction a latency drawn from
 structural hazards beyond those latencies, which matches the level of
 detail the paper's own cycle estimates operate at.
 
-Two execution engines share this architectural model:
-
-* ``engine="interp"`` — the reference interpreter: fetch, dispatch on the
-  instruction class, execute, record.  It is the only path that can feed
-  full per-instruction :class:`~repro.microblaze.trace.TraceEvent` streams
-  to listeners, and it defines the semantics the threaded engine must
-  reproduce bit-exactly.
-* ``engine="threaded"`` (the default) — the threaded-code engine of
-  :mod:`repro.microblaze.engine`: instructions compile once into
-  specialized handler closures, straight-line runs into superblocks, and
-  ``run()`` executes whole blocks without per-instruction dispatch,
-  statistics-dictionary updates or trace-event allocation.  Listeners that
-  only need branch events (the on-chip profiler) subscribe through the
-  zero-allocation branch-hook protocol and keep working at full speed;
-  attaching a full-trace listener transparently falls back to the
-  interpreter.
+The architectural model is shared by every registered execution engine
+(:mod:`repro.microblaze.engines`): ``interp`` is the reference
+interpreter implemented here — fetch, dispatch on the instruction class,
+execute, record — and the only path that can feed full per-instruction
+:class:`~repro.microblaze.trace.TraceEvent` streams to listeners;
+``threaded`` (the default) and ``jit`` compile superblocks once at decode
+time and dispatch block-at-a-time.  Listeners that only need branch
+events (the on-chip profiler) subscribe through the zero-allocation
+branch-hook protocol and keep working at full speed on every engine;
+attaching a full-trace listener transparently falls back to the
+interpreter, as does any run outside the selected engine's declared
+capabilities (cycle budgets, halt addresses).  This module is a thin
+driver over the engine registry: engine selection, invalidation and the
+checkpoint derived-state rebuild all go through the
+:class:`~repro.microblaze.engines.ExecutionEngine` contract.
 """
 
 from __future__ import annotations
@@ -49,14 +48,12 @@ from ..isa.encoding import decode
 from ..isa.instructions import HwUnit, Instruction, InstrClass
 from ..isa.registers import NUM_REGISTERS, WORD_MASK, to_signed
 from .config import MicroBlazeConfig
+# DEFAULT_ENGINE moved to the registry; re-exported here because this was
+# its original import location (repro.microblaze.cpu.DEFAULT_ENGINE).
+from .engines import DEFAULT_ENGINE, create_engine  # noqa: F401
 from .memory import BlockRAM
 from .opb import OPB_BASE_ADDRESS, OnChipPeripheralBus
 from .trace import TraceEvent, TraceListener
-
-#: Engine used when a CPU (or system) is built without an explicit choice.
-DEFAULT_ENGINE = "threaded"
-
-_VALID_ENGINES = ("threaded", "interp")
 
 
 class CPUError(Exception):
@@ -176,7 +173,7 @@ class MicroBlazeCPU:
         engine: Optional[str] = None,
         precise_fault_stats: bool = False,
     ):
-        from .engine import NUM_COUNTERS, BlockCompiler
+        from .engine import NUM_COUNTERS
 
         self.config = config
         self.instr_bram = instr_bram
@@ -201,17 +198,25 @@ class MicroBlazeCPU:
         self._listeners: List[TraceListener] = []
         self._branch_hooks: List = []
         self._decoded: Dict[int, Instruction] = {}
-        engine = DEFAULT_ENGINE if engine is None else engine
-        if engine not in _VALID_ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"choose one of {_VALID_ENGINES}")
-        self.engine = engine
-        #: Scalar statistics counters (threaded-engine hot path); identity
+        #: Scalar statistics counters (block-engine hot path); identity
         #: stable like ``registers``, folded into :attr:`stats` on sync.
         self._counters: List[int] = [0] * NUM_COUNTERS
-        #: Superblock cache: entry address -> compiled block.
-        self._blocks: Dict[int, tuple] = {}
-        self._compiler = BlockCompiler(self)
+        #: The execution engine, resolved against the registry
+        #: (:mod:`repro.microblaze.engines`); unknown names raise
+        #: :class:`~repro.microblaze.engines.UnknownEngineError` listing
+        #: the registered engines.  Created last: engines may bind any of
+        #: the state above at construction time.
+        self._engine_impl = create_engine(engine, self)
+        self.engine = self._engine_impl.name
+
+    @property
+    def _blocks(self) -> Dict[int, tuple]:
+        """The engine's superblock cache (entry address -> translation).
+
+        Kept as a property for the block-layout tests and diagnostics;
+        the interpreter's cache is always empty.
+        """
+        return self._engine_impl.blocks
 
     # ------------------------------------------------------------------ setup
     def add_listener(self, listener: TraceListener) -> None:
@@ -286,13 +291,9 @@ class MicroBlazeCPU:
         """
         if address is None:
             self._decoded.clear()
-            self._blocks.clear()
-            return
-        self._decoded.pop(address, None)
-        stale = [entry for entry, block in self._blocks.items()
-                 if block[4] <= address <= block[5]]
-        for entry in stale:
-            del self._blocks[entry]
+        else:
+            self._decoded.pop(address, None)
+        self._engine_impl.invalidate(address)
 
     # ------------------------------------------------------------- checkpointing
     def snapshot_state(self) -> Dict:
@@ -323,22 +324,33 @@ class MicroBlazeCPU:
         self._imm_latch = state["imm_latch"]
         self.stats = ExecutionStats.from_plain(state["stats"])
         self._counters[:] = [0] * len(self._counters)
-        self.invalidate_decode_cache()
+        # Derived state: the decode cache and the engine's translations are
+        # never part of a snapshot and must be rebuilt lazily.
+        self._decoded.clear()
+        self._engine_impl.on_restore()
 
     # -------------------------------------------------------------- execution
     def run(self, max_instructions: int = 50_000_000,
             max_cycles: Optional[int] = None) -> ExecutionStats:
-        """Run until the program halts or a budget is exceeded."""
+        """Run until the program halts or a budget is exceeded.
+
+        The selected engine's dispatch loop runs whenever its declared
+        capabilities fit this run; otherwise — full-trace listeners on an
+        engine without ``full_trace``, cycle budgets or halt addresses on
+        a block engine — the reference interpreter takes over, which is
+        always semantically equivalent.
+        """
         start_instructions = self.stats.instructions
-        use_threaded = (
-            self.engine == "threaded"
-            and not self._listeners
-            and max_cycles is None
-            and self.halt_address is None
+        impl = self._engine_impl
+        use_impl = (
+            (impl.full_trace or not self._listeners)
+            and (impl.branch_hooks or not self._branch_hooks)
+            and (impl.supports_max_cycles or max_cycles is None)
+            and (impl.supports_halt_address or self.halt_address is None)
         )
         try:
-            if use_threaded:
-                self._run_threaded(max_instructions)
+            if use_impl:
+                impl.run(max_instructions, max_cycles)
             else:
                 self._run_interpreted(max_instructions, max_cycles)
         finally:
@@ -364,53 +376,20 @@ class MicroBlazeCPU:
                 )
             self.step()
 
-    def _run_threaded(self, max_instructions: int) -> None:
-        """Superblock dispatch loop of the threaded-code engine."""
-        # A pending imm latch (left by manual step() calls) is consumed by
-        # the interpreter so that block entry always starts latch-free,
-        # which is what the statically fused translations assume.
+    def _drain_imm_latch(self, max_instructions: int) -> None:
+        """Consume a pending ``imm`` latch on the interpreter.
+
+        Block engines call this before dispatching: a latch left by manual
+        :meth:`step` calls must be consumed per-instruction so that block
+        entry always starts latch-free, which is what the statically fused
+        translations assume.
+        """
         while self._imm_latch is not None and not self.halted:
             if self.stats.instructions >= max_instructions:
                 raise ExecutionLimitExceeded(
                     f"exceeded {max_instructions} instructions at pc={self.pc:#x}"
                 )
             self.step()
-        counters = self._counters
-        blocks = self._blocks
-        compile_block = self._compiler.compile_block
-        executed = self.stats.instructions
-        near_budget = False
-        pc = self.pc
-        try:
-            while not self.halted:
-                block = blocks.get(pc)
-                if block is None:
-                    block = compile_block(pc)
-                n = block[0]
-                if executed + n > max_instructions:
-                    near_budget = True
-                    break
-                for index, delta in block[1]:
-                    counters[index] += delta
-                for handler in block[2]:
-                    handler()
-                pc = block[3]()
-                executed += n
-        except BaseException:
-            if self.precise_fault_stats:
-                # Precise-mode handlers maintain self.pc per instruction;
-                # keep the faulting instruction's pc instead of rewinding
-                # to the block entry.
-                pc = self.pc
-            raise
-        finally:
-            self.pc = pc
-            self._sync_counters()
-        if near_budget:
-            # Within one block of the budget: finish (or fault) on the
-            # interpreter, whose per-instruction checks raise at exactly
-            # the same point the reference engine does.
-            self._run_interpreted(max_instructions, None)
 
     def _sync_counters(self) -> None:
         """Fold the scalar counter array into :attr:`stats` and zero it."""
@@ -577,6 +556,12 @@ class MicroBlazeCPU:
         if imm_consumed:
             self._imm_latch = None
         self.stats.record(klass, cycles)
+        opb = self.opb
+        if opb is not None and opb.ticking:
+            # Interpreter granularity: opted-in peripherals see time
+            # advance per executed instruction (block engines batch this
+            # into one tick per superblock; see repro.microblaze.engines).
+            opb.deliver_ticks(cycles)
         self.pc = next_pc
         if self.halt_address is not None and self.pc == self.halt_address:
             self.halted = True

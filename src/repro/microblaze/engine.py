@@ -28,9 +28,11 @@ branch-event streams, and memory-port access counters.  The differential
 test in ``tests/test_threaded_engine.py`` asserts this on every suite
 benchmark.
 
-Superblocks live in ``MicroBlazeCPU._blocks`` keyed by entry address and
-are invalidated together with the decode cache when the dynamic
-partitioning module patches the binary (see
+Superblocks live in the engine's block cache
+(:class:`repro.microblaze.engines.threaded.ThreadedEngine`, visible as
+``MicroBlazeCPU._blocks``) keyed by entry address and are invalidated
+together with the decode cache when the dynamic partitioning module
+patches the binary (see
 :meth:`~repro.microblaze.cpu.MicroBlazeCPU.invalidate_decode_cache`).
 
 Known, intentional divergence: when an instruction *faults at run time*
@@ -93,13 +95,15 @@ _STORE_WIDTHS = {"sw": 4, "swi": 4, "sh": 2, "shi": 2, "sb": 1, "sbi": 1}
 _ABSOLUTE_BRANCHES = frozenset(("bra", "brad", "brald", "brai", "bralid"))
 
 #: A compiled superblock: ``(n_instructions, stats_deltas, body, terminator,
-#: entry_address, end_address)``.  ``stats_deltas`` is a tuple of
-#: ``(counter_index, delta)`` pairs covering every *static* statistic of the
-#: straight-line body; ``body`` is a tuple of argument-less handler
-#: closures; ``terminator`` returns the next program counter.  ``entry`` /
-#: ``end`` delimit the byte range the block was compiled from (inclusive),
-#: which selective invalidation uses.
-Block = Tuple[int, tuple, tuple, Callable[[], int], int, int]
+#: entry_address, end_address, static_cycles)``.  ``stats_deltas`` is a
+#: tuple of ``(counter_index, delta)`` pairs covering every *static*
+#: statistic of the straight-line body (empty in precise mode); ``body`` is
+#: a tuple of argument-less handler closures; ``terminator`` returns the
+#: next program counter.  ``entry`` / ``end`` delimit the byte range the
+#: block was compiled from (inclusive), which selective invalidation uses.
+#: ``static_cycles`` is the statically known straight-line cycle count,
+#: tracked in both modes for the tick-batching deadline pre-check.
+Block = Tuple[int, tuple, tuple, Callable[[], int], int, int, int]
 
 
 def signed_division(dividend: int, divisor: int) -> int:
@@ -130,8 +134,11 @@ class BlockCompiler:
     than rebinding it.
     """
 
-    def __init__(self, cpu) -> None:
+    def __init__(self, cpu, blocks: Optional[dict] = None) -> None:
         self.cpu = cpu
+        #: Superblock cache the compiler publishes into (owned by the
+        #: :class:`~repro.microblaze.engines.threaded.ThreadedEngine`).
+        self.blocks = blocks if blocks is not None else {}
         #: Precise-fault-statistics mode: every instruction self-records its
         #: counters, program counter and imm latch (see the module docstring).
         self.precise = bool(getattr(cpu, "precise_fault_stats", False))
@@ -143,6 +150,11 @@ class BlockCompiler:
         body: List[Callable[[], None]] = []
         deltas = [0] * NUM_COUNTERS
         timings = cpu.config.timings
+        #: Statically known straight-line cycle count, tracked in *both*
+        #: modes (precise blocks carry no wholesale deltas, but the
+        #: tick-batching dispatch loop still needs the bound for its
+        #: deadline pre-check).
+        static_cycles = 0
         n = 0
         pc = entry
         pending_imm: Optional[int] = None
@@ -159,18 +171,21 @@ class BlockCompiler:
                 term = self._raiser_refetch(pc)
                 if precise:
                     term = self._precise_term(term, pc)
-                return self._finish(entry, pc, n, deltas, body, term)
+                return self._finish(entry, pc, n, deltas, body, term,
+                                    static_cycles)
 
             unit = instr.requires
             if unit is not None and not cpu.config.has_unit(unit):
                 term = self._raiser_unit(instr)
                 if precise:
                     term = self._precise_term(term, pc)
-                return self._finish(entry, pc, n, deltas, body, term)
+                return self._finish(entry, pc, n, deltas, body, term,
+                                    static_cycles)
 
             klass = instr.klass
             if klass is InstrClass.IMM_PREFIX:
                 pending_imm = instr.imm & 0xFFFF
+                static_cycles += timings.imm_prefix
                 if precise:
                     body.append(self._record_imm_prefix(pc, pending_imm))
                 else:
@@ -189,7 +204,8 @@ class BlockCompiler:
                 if precise:
                     term = self._precise_term(term, pc)
                 n += 1 + extra_instructions
-                return self._finish(entry, end, n, deltas, body, term)
+                return self._finish(entry, end, n, deltas, body, term,
+                                    static_cycles)
 
             if precise:
                 # Per-handler statistics: reuse the delay-slot (self-
@@ -214,6 +230,7 @@ class BlockCompiler:
                     deltas[CNT_LOADS] += 1
                 elif klass is InstrClass.STORE:
                     deltas[CNT_STORES] += 1
+            static_cycles += cycles
             pending_imm = None
             n += 1
             pc += 4
@@ -221,15 +238,17 @@ class BlockCompiler:
             if n >= MAX_BLOCK_INSTRUCTIONS and pending_imm is None:
                 next_pc = pc
                 term = lambda: next_pc  # noqa: E731 - fall-through terminator
-                return self._finish(entry, pc - 4, n, deltas, body, term)
+                return self._finish(entry, pc - 4, n, deltas, body, term,
+                                    static_cycles)
 
     def _finish(self, entry: int, end: int, n: int, deltas: List[int],
                 body: List[Callable[[], None]],
-                term: Callable[[], int]) -> Block:
+                term: Callable[[], int], static_cycles: int = 0) -> Block:
         pairs = tuple((index, delta) for index, delta in enumerate(deltas)
                       if delta)
-        block: Block = (n, pairs, tuple(body), term, entry, end)
-        self.cpu._blocks[entry] = block
+        block: Block = (n, pairs, tuple(body), term, entry, end,
+                        static_cycles)
+        self.blocks[entry] = block
         return block
 
     # ------------------------------------------------- precise-fault-stats mode

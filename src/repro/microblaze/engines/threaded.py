@@ -1,0 +1,141 @@
+"""The threaded-code engine behind the registry.
+
+The block *compiler* — handler closures, superblock layout, statistics
+pre-aggregation, the precise-fault-statistics mode — stays in
+:mod:`repro.microblaze.engine`; this module owns the superblock cache and
+the dispatch loop that used to be ``MicroBlazeCPU._run_threaded``.
+
+The dispatch loop additionally batches on-chip peripheral time: when a
+peripheral opted into ticking (``wants_ticks``, see
+:class:`~repro.microblaze.opb.OnChipPeripheralBus`), the engine delivers
+one ``tick(n)`` with the block's actual cycle count after each superblock
+instead of a call per instruction.  A peripheral that declares a tick
+deadline (``tick_deadline()``) falling *inside* the upcoming block drops
+the engine to interpreter granularity — per-instruction ticks — until the
+boundary has passed, so timed device models never observe a batch
+crossing their deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..engine import CNT_CYCLES, BlockCompiler
+from . import ExecutionEngine, register_engine
+
+
+def block_static_cycles(block: tuple) -> int:
+    """Statically known cycle count of a threaded superblock.
+
+    Carried explicitly in the block descriptor (valid in precise mode
+    too, where the delta pairs are empty).  Dynamic contributions (OPB
+    penalties, branch/slot cycles) are excluded — the caller treats this
+    as a lower bound.
+    """
+    return block[6]
+
+
+class ThreadedEngine(ExecutionEngine):
+    """Superblock dispatch over closures compiled once at decode time."""
+
+    full_trace = False
+    branch_hooks = True
+    supports_max_cycles = False
+    supports_halt_address = False
+
+    def __init__(self, cpu) -> None:
+        super().__init__(cpu)
+        self.compiler = BlockCompiler(cpu, self.blocks)
+
+    @staticmethod
+    def _block_range(block: tuple) -> Tuple[int, int]:
+        return block[4], block[5]
+
+    # ------------------------------------------------------------- dispatch
+    def run(self, max_instructions: int,
+            max_cycles: Optional[int] = None) -> None:
+        # NOTE: this loop is deliberately duplicated (not shared through a
+        # base class) with JitEngine.run — a per-block virtual call would
+        # tax the hot path of both engines.  The budget, tick-deadline and
+        # fault handling must stay line-for-line equivalent; change both
+        # together (the differential tests cover each engine separately).
+        cpu = self.cpu
+        # A pending imm latch (left by manual step() calls) is consumed by
+        # the interpreter so that block entry always starts latch-free,
+        # which is what the statically fused translations assume.
+        cpu._drain_imm_latch(max_instructions)
+        counters = cpu._counters
+        blocks = self.blocks
+        compile_block = self.compiler.compile_block
+        opb = cpu.opb
+        ticking = opb is not None and opb.ticking
+        executed = cpu.stats.instructions
+        near_budget = False
+        pc = cpu.pc
+        try:
+            while not cpu.halted:
+                block = blocks.get(pc)
+                if block is None:
+                    block = compile_block(pc)
+                n = block[0]
+                if executed + n > max_instructions:
+                    near_budget = True
+                    break
+                if ticking:
+                    deadline = opb.next_deadline()
+                    if deadline is not None \
+                            and deadline < block_static_cycles(block):
+                        # A peripheral boundary falls inside this block:
+                        # one interpreter step (per-instruction ticks),
+                        # then retry block dispatch past the boundary.
+                        # Counters fold into stats first so the budget
+                        # checks see exact instruction counts, and any
+                        # imm latch the step leaves behind is drained —
+                        # fused translations assume latch-free entry.
+                        cpu._sync_counters()
+                        cpu.pc = pc
+                        cpu.step()
+                        cpu._drain_imm_latch(max_instructions)
+                        pc = cpu.pc
+                        executed = cpu.stats.instructions
+                        continue
+                    cycles_before = counters[CNT_CYCLES]
+                    try:
+                        for index, delta in block[1]:
+                            counters[index] += delta
+                        for handler in block[2]:
+                            handler()
+                        pc = block[3]()
+                    finally:
+                        # Deliver the accrued cycles even when the block
+                        # faults mid-way: ticked time tracks the recorded
+                        # statistics exactly (interpreter-identical in
+                        # precise mode).
+                        opb.tick_bounded(counters[CNT_CYCLES]
+                                         - cycles_before)
+                    executed += n
+                    continue
+                for index, delta in block[1]:
+                    counters[index] += delta
+                for handler in block[2]:
+                    handler()
+                pc = block[3]()
+                executed += n
+        except BaseException:
+            if cpu.precise_fault_stats:
+                # Precise-mode handlers maintain cpu.pc per instruction;
+                # keep the faulting instruction's pc instead of rewinding
+                # to the block entry.
+                pc = cpu.pc
+            raise
+        finally:
+            cpu.pc = pc
+            cpu._sync_counters()
+        if near_budget:
+            # Within one block of the budget: finish (or fault) on the
+            # interpreter, whose per-instruction checks raise at exactly
+            # the same point the reference engine does.
+            cpu._run_interpreted(max_instructions, None)
+
+
+register_engine("threaded", ThreadedEngine)

@@ -21,7 +21,28 @@ OPB_BASE_ADDRESS = 0x8000_0000
 
 
 class Peripheral(Protocol):
-    """Interface every OPB peripheral implements."""
+    """Interface every OPB peripheral implements.
+
+    Two *optional* attributes extend the protocol for timed device models:
+
+    ``wants_ticks`` (bool, default absent/False)
+        Set truthy **before attaching** to receive engine-driven time:
+        the execution engines then advance the peripheral with
+        :meth:`tick` as simulated cycles elapse — per instruction on the
+        interpreter, batched to one ``tick(n)`` per superblock on the
+        block engines.  Peripherals without it cost the simulator nothing
+        (the engines skip the bus entirely).
+
+    ``tick_deadline()`` (``() -> Optional[int]``, optional method)
+        Cycles until the peripheral next needs to observe a tick
+        boundary (a timer expiry, a DMA completion).  The block engines
+        honour it two ways: a deadline falling inside the upcoming
+        superblock drops dispatch to interpreter granularity until the
+        boundary has passed, and batched ticks are delivered in chunks
+        that never cross the current deadline
+        (:meth:`OnChipPeripheralBus.tick_bounded`).  Return ``None`` (or
+        omit the method) to allow unbounded batching.
+    """
 
     #: Byte address of the peripheral's first register (absolute).
     base_address: int
@@ -96,6 +117,10 @@ class OnChipPeripheralBus:
     def __init__(self, name: str = "opb"):
         self.name = name
         self.peripherals: List[Peripheral] = []
+        #: Subset of peripherals that opted into engine-driven time
+        #: (``wants_ticks``); empty on the hot path for ordinary systems,
+        #: which is what lets the engines skip ticking entirely.
+        self.ticking: List[Peripheral] = []
         self.reads = 0
         self.writes = 0
 
@@ -113,6 +138,8 @@ class OnChipPeripheralBus:
                     f"{existing.name!r} window [{lo:#010x}, {hi:#010x})"
                 )
         self.peripherals.append(peripheral)
+        if getattr(peripheral, "wants_ticks", False):
+            self.ticking.append(peripheral)
 
     def owns(self, address: int) -> bool:
         """Whether ``address`` decodes to one of the attached peripherals."""
@@ -139,8 +166,56 @@ class OnChipPeripheralBus:
         peripheral.write(address - peripheral.base_address, value & 0xFFFFFFFF)
 
     def tick(self, cycles: int) -> None:
+        """Manually advance *every* attached peripheral (public API)."""
         for peripheral in self.peripherals:
             peripheral.tick(cycles)
+
+    def deliver_ticks(self, cycles: int) -> None:
+        """Engine-driven time: advance only the opted-in peripherals.
+
+        The execution engines come through here (and through
+        :meth:`tick_bounded`), so peripherals that never asked for ticks
+        receive none and cost nothing.
+        """
+        for peripheral in self.ticking:
+            peripheral.tick(cycles)
+
+    def next_deadline(self) -> Optional[int]:
+        """Cycles until the nearest tick deadline of any ticking peripheral.
+
+        ``None`` means no ticking peripheral constrains batching.  The
+        block engines query this once per superblock; a deadline inside
+        the upcoming block drops them to per-instruction dispatch.
+        """
+        nearest: Optional[int] = None
+        for peripheral in self.ticking:
+            deadline_fn = getattr(peripheral, "tick_deadline", None)
+            if deadline_fn is None:
+                continue
+            deadline = deadline_fn()
+            if deadline is not None and (nearest is None
+                                         or deadline < nearest):
+                nearest = deadline
+        return nearest
+
+    def tick_bounded(self, cycles: int) -> None:
+        """Deliver ``cycles`` of time without crossing any tick deadline.
+
+        The batched superblock ticks go through here: when a block's
+        dynamic cycle contributions (OPB penalties, branch costs) push it
+        past a declared deadline, the batch is split into chunks of at
+        most the then-current deadline, so timed peripherals observe
+        every boundary in order.  With no deadlines this is one plain
+        :meth:`deliver_ticks`.
+        """
+        remaining = cycles
+        while remaining > 0:
+            deadline = self.next_deadline()
+            if deadline is None or deadline >= remaining:
+                self.deliver_ticks(remaining)
+                return
+            self.deliver_ticks(max(1, deadline))
+            remaining -= max(1, deadline)
 
     @property
     def transactions(self) -> int:

@@ -84,9 +84,15 @@ class MicroBlazeSystem:
         Peripherals to attach to the on-chip peripheral bus.  The warp
         processor attaches the WCLA here.
     engine:
-        Execution engine for the CPU core: ``"threaded"`` (default, the
-        threaded-code engine) or ``"interp"`` (the reference interpreter).
-        Both are bit-exact; see :mod:`repro.microblaze.engine`.
+        Execution engine for the CPU core, resolved against the engine
+        registry (:mod:`repro.microblaze.engines`): ``"threaded"`` (the
+        default threaded-code engine), ``"jit"`` (the source-generating
+        superblock engine) or ``"interp"`` (the reference interpreter) —
+        plus anything registered with
+        :func:`~repro.microblaze.engines.register_engine`.  The built-in
+        engines are bit-exact with one another; unknown names raise
+        :class:`~repro.microblaze.engines.UnknownEngineError` listing the
+        registered engines.
     precise_fault_stats:
         Opt-in exact fault-path statistics for the threaded engine (see
         :class:`~repro.microblaze.cpu.MicroBlazeCPU`).

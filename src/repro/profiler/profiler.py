@@ -67,14 +67,30 @@ class OnChipProfiler:
         self.total_branches = 0
         self.backward_taken = 0
         self.instructions_observed = 0
+        #: Basic-block edge profile: ``(branch pc, taken target) -> count``
+        #: over *every* taken branch (forward and backward, any engine —
+        #: the branch-hook protocol delivers all of them).  Unlike the
+        #: bounded :class:`BranchFrequencyCache`, which models the
+        #: hardware profiler's backward-branch table, this is host-side
+        #: groundwork for path-sensitive partitioning: edge weights over
+        #: the control-flow graph let the partitioner score *paths*
+        #: through a region rather than single loop headers.  Cost: one
+        #: small tuple key and one dict upsert per taken branch —
+        #: comparable to the branch cache's record() that backward
+        #: branches already pay.
+        self.edge_counts: dict = {}
 
     # ---------------------------------------------------------- branch observer
     def on_branch(self, pc: int, target: Optional[int], taken: bool) -> None:
         """One branch as observed on the instruction bus (scalar fast path)."""
         self.total_branches += 1
-        if taken and target is not None and target < pc:
-            self.backward_taken += 1
-            self.cache.record(pc, target)
+        if taken and target is not None:
+            edge = (pc, target)
+            counts = self.edge_counts
+            counts[edge] = counts.get(edge, 0) + 1
+            if target < pc:
+                self.backward_taken += 1
+                self.cache.record(pc, target)
 
     def on_run_end(self, instructions: int) -> None:
         """Called by the CPU with the instruction count of a finished run."""
@@ -87,10 +103,12 @@ class OnChipProfiler:
         if not event.is_branch:
             return
         self.total_branches += 1
-        if event.branch_taken and event.branch_target is not None \
-                and event.branch_target < event.pc:
-            self.backward_taken += 1
-            self.cache.record(event.pc, event.branch_target)
+        if event.branch_taken and event.branch_target is not None:
+            edge = (event.pc, event.branch_target)
+            self.edge_counts[edge] = self.edge_counts.get(edge, 0) + 1
+            if event.branch_target < event.pc:
+                self.backward_taken += 1
+                self.cache.record(event.pc, event.branch_target)
 
     # ------------------------------------------------------------------ results
     def critical_regions(self, top: int = 8) -> List[CriticalRegion]:

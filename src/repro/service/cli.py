@@ -3,7 +3,7 @@
 Local subcommands::
 
     repro-warp suite [--benchmarks brev,matmul] [--configs paper,minimal]
-                     [--engines threaded,interp] [--small] [--workers N]
+                     [--engines threaded,jit,interp] [--small] [--workers N]
                      [--stages decompile,synthesis,...] [--store DIR]
                      [--repeat N] [--out report.json]
 
@@ -107,9 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--configs", default="paper",
                          help=f"comma-separated configuration names from "
                               f"{sorted(NAMED_CONFIGS)} (default: paper)")
+        from ..microblaze.engines import engine_names
         sub.add_argument("--engines", default="threaded",
-                         help="comma-separated engines from (threaded, "
-                              "interp)")
+                         help="comma-separated execution engines from the "
+                              f"registry ({', '.join(engine_names())})")
         sub.add_argument("--small", action="store_true",
                          help="use the reduced-size benchmark parameters")
         sub.add_argument("--stages", default=None,

@@ -33,6 +33,7 @@ from ..eval.figures import metric_rows
 from ..eval.reporting import format_table
 from ..fabric.architecture import DEFAULT_WCLA, WclaParameters
 from ..microblaze.config import MicroBlazeConfig, PAPER_CONFIG
+from ..microblaze.engines import UnknownEngineError, validate_engine_name
 
 #: Column order of the service's suite-level tables (the service compares
 #: software-only MicroBlaze against the warp-processed MicroBlaze; the ARM
@@ -85,6 +86,14 @@ class WarpJob:
                 f"job {self.name!r}: specify exactly one of 'benchmark' or "
                 f"'source'"
             )
+        if self.engine is not None:
+            # Validate against the engine registry at submission time, so
+            # a typo fails with one clear error naming the registered
+            # engines instead of a ValueError deep inside a pool worker.
+            try:
+                validate_engine_name(self.engine)
+            except UnknownEngineError as error:
+                raise JobSpecError(f"job {self.name!r}: {error}") from error
         if self.stages is not None:
             if isinstance(self.stages, str):
                 raise JobSpecError(

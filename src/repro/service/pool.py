@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..cad import SOURCE_DISK, SOURCE_NEGATIVE
 from ..compiler import compile_source_cached
 from ..digest import shard_index
-from ..microblaze.cpu import DEFAULT_ENGINE
+from ..microblaze.engines import DEFAULT_ENGINE
 from ..power.energy import microblaze_energy, warp_energy
 from ..warp.processor import WarpProcessor
 from .artifact_cache import CadArtifactCache

@@ -2,7 +2,7 @@
 
 The acceptance bar (ISSUE 2): snapshot → restore → run-to-completion must
 yield identical architectural state, statistics and output checksums
-versus an uninterrupted run, under both execution engines — including
+versus an uninterrupted run, under every execution engine — including
 restoring onto a *different* engine than the one that took the snapshot,
 and restoring in a *different process* (worker migration).
 """
@@ -31,7 +31,7 @@ from repro.microblaze import (
 )
 from repro.microblaze.opb import OPB_BASE_ADDRESS
 
-ENGINES = ("threaded", "interp")
+ENGINES = ("threaded", "interp", "jit")
 
 
 def _reference_run(program, engine):
@@ -72,11 +72,13 @@ class TestRoundTrip:
         assert result.data_image == reference.data_image
 
     @pytest.mark.parametrize("capture_engine,resume_engine",
-                             [("threaded", "interp"), ("interp", "threaded")])
+                             [("threaded", "interp"), ("interp", "threaded"),
+                              ("jit", "interp"), ("interp", "jit"),
+                              ("jit", "threaded"), ("threaded", "jit")])
     def test_cross_engine_resume(self, capture_engine, resume_engine,
                                  compiled_small_programs):
         """A snapshot is engine-independent: capture on one engine, resume
-        on the other, still bit-exact against an uninterrupted run."""
+        on another, still bit-exact against an uninterrupted run."""
         program = compiled_small_programs["brev"]
         reference = _reference_run(program, "interp")
 

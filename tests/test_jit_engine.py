@@ -1,0 +1,326 @@
+"""Tests for the source-generating JIT execution engine.
+
+Mirrors the threaded-engine test structure one engine further out:
+
+* **Differential equivalence** — every suite benchmark runs on the
+  reference interpreter and on ``engine="jit"`` and must produce
+  identical ``ExecutionStats``, register files, data-BRAM images and
+  profiler rankings (and the jit engine must also agree with the threaded
+  engine, closing the triangle).
+* **Fault paths** — a misaligned access landing mid-superblock, a fault
+  behind a fused ``imm`` prefix, and a fault in a delay slot must leave
+  interpreter-identical state under ``precise_fault_stats=True``;
+  default mode keeps architectural state identical and documents the
+  same wholesale-statistics divergence as the threaded engine.
+* **Cache invalidation** — generated blocks must drop when the dynamic
+  partitioning module patches the executing binary.
+* **Semantics edges** — imm fusion, delay slots, budgets, dynamic
+  self-branch halts: everything the generated source specializes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_benchmark, build_suite
+from repro.compiler import compile_source
+from repro.isa import assemble
+from repro.microblaze import (
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    MemoryError_,
+    MicroBlazeConfig,
+    MicroBlazeSystem,
+    MINIMAL_CONFIG,
+    PAPER_CONFIG,
+    run_program,
+)
+from repro.partition.binary_patch import patch_live_words
+from repro.profiler.branch_cache import BranchFrequencyCache
+from repro.profiler.profiler import OnChipProfiler
+
+SUITE_NAMES = [b.name for b in build_suite(small=True)]
+
+
+def run_engines(program, engines=("interp", "jit"), config=PAPER_CONFIG,
+                **kwargs):
+    return {engine: run_program(program, config, engine=engine, **kwargs)
+            for engine in engines}
+
+
+def assert_equivalent(reference, observed):
+    assert observed.stats == reference.stats
+    assert observed.return_value == reference.return_value
+    assert observed.data_image == reference.data_image
+
+
+# ---------------------------------------------------------------- differential
+class TestDifferential:
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_suite_benchmark_bit_exact(self, name, compiled_small_programs):
+        program = compiled_small_programs[name]
+        systems = {}
+        results = {}
+        for engine in ("interp", "threaded", "jit"):
+            system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+            results[engine] = system.run(program)
+            systems[engine] = system
+
+        assert_equivalent(results["interp"], results["jit"])
+        assert_equivalent(results["threaded"], results["jit"])
+        assert systems["jit"].cpu.registers == systems["interp"].cpu.registers
+        assert bytes(systems["jit"].data_bram.storage) \
+            == bytes(systems["interp"].data_bram.storage)
+
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_profiler_rankings_identical(self, name, compiled_small_programs):
+        program = compiled_small_programs[name]
+        profilers = {}
+        for engine in ("interp", "jit"):
+            profiler = OnChipProfiler(BranchFrequencyCache(num_entries=16))
+            run_program(program, PAPER_CONFIG, listeners=[profiler],
+                        engine=engine)
+            profilers[engine] = profiler
+        a, b = profilers["interp"], profilers["jit"]
+        assert a.critical_regions() == b.critical_regions()
+        assert a.edge_counts == b.edge_counts
+        assert (a.total_branches, a.backward_taken, a.instructions_observed) \
+            == (b.total_branches, b.backward_taken, b.instructions_observed)
+
+    def test_precise_mode_fault_free_bit_exact(self, compiled_small_programs):
+        program = compiled_small_programs["canrdr"]
+        reference = MicroBlazeSystem(config=PAPER_CONFIG,
+                                     engine="interp").run(program)
+        precise = MicroBlazeSystem(config=PAPER_CONFIG, engine="jit",
+                                   precise_fault_stats=True).run(program)
+        assert_equivalent(reference, precise)
+
+
+# -------------------------------------------------------------------- faults
+#: A misaligned word load (address 9) landing mid-superblock.
+MISALIGNED_MID_BLOCK = """
+    addi r5, r0, 8
+    addi r6, r0, 1
+    add  r7, r5, r6        # r7 = 9: misaligned
+    addi r8, r0, 3
+    lw   r9, r7, r0        # faults here, mid-block
+    addi r10, r0, 99       # must never execute
+    bri  0
+"""
+
+MISALIGNED_AFTER_IMM = """
+    addi r5, r0, 1
+    imm  0
+    lwi  r9, r5, 8         # address 9 via imm-fused immediate: faults
+    bri  0
+"""
+
+MISALIGNED_IN_DELAY_SLOT = """
+    addi r5, r0, 6
+    addi r6, r0, 1
+    brid 12                # taken, delay slot executes
+    sw   r6, r5, r0        # misaligned store at 6: faults in the slot
+    addi r7, r0, 1
+    bri  0
+"""
+
+
+def _run_to_fault(source, engine, precise=False, config=PAPER_CONFIG,
+                  exception=MemoryError_):
+    program = assemble(source, name="faulty")
+    system = MicroBlazeSystem(config=config, engine=engine,
+                              precise_fault_stats=precise)
+    with pytest.raises(exception) as info:
+        system.run(program)
+    cpu = system.cpu
+    return {
+        "stats": cpu.stats,
+        "registers": list(cpu.registers),
+        "pc": cpu.pc,
+        "imm_latch": cpu._imm_latch,
+        "message": str(info.value),
+    }
+
+
+class TestFaultPaths:
+    @pytest.mark.parametrize("source,expected_instructions", [
+        (MISALIGNED_MID_BLOCK, 4),
+        (MISALIGNED_AFTER_IMM, 2),
+        # A faulting slot leaves both the slot and its branch unrecorded.
+        (MISALIGNED_IN_DELAY_SLOT, 2),
+    ])
+    def test_precise_mode_matches_interpreter(self, source,
+                                              expected_instructions):
+        interp = _run_to_fault(source, "interp")
+        precise = _run_to_fault(source, "jit", precise=True)
+        assert precise["stats"] == interp["stats"]
+        assert precise["registers"] == interp["registers"]
+        assert precise["pc"] == interp["pc"]
+        assert precise["imm_latch"] == interp["imm_latch"]
+        assert precise["message"] == interp["message"]
+        assert interp["stats"].instructions == expected_instructions
+
+    def test_default_mode_keeps_architectural_state(self):
+        """Without the flag, the jit engine documents the same wholesale
+        block-statistics divergence as the threaded engine — registers and
+        the fault itself stay identical."""
+        interp = _run_to_fault(MISALIGNED_MID_BLOCK, "interp")
+        plain = _run_to_fault(MISALIGNED_MID_BLOCK, "jit", precise=False)
+        assert plain["registers"] == interp["registers"]
+        assert plain["message"] == interp["message"]
+        assert plain["stats"].instructions > interp["stats"].instructions
+
+    def test_missing_unit_fault(self):
+        source = """
+            addi r5, r0, 3
+            addi r6, r0, 4
+            mul  r7, r5, r6       # no multiplier in MINIMAL_CONFIG
+            bri  0
+        """
+        interp = _run_to_fault(source, "interp", config=MINIMAL_CONFIG,
+                               exception=IllegalInstruction)
+        precise = _run_to_fault(source, "jit", precise=True,
+                                config=MINIMAL_CONFIG,
+                                exception=IllegalInstruction)
+        assert precise["stats"] == interp["stats"]
+        assert precise["message"] == interp["message"]
+        assert precise["pc"] == interp["pc"]
+
+    def test_fetch_past_bram_end_faults_after_block_executes(self):
+        program = assemble("""
+            addi r5, r0, 7
+            swi r5, r0, 0
+        """)
+        images = {}
+        for engine in ("interp", "jit"):
+            config = MicroBlazeConfig(instr_bram_kb=1, data_bram_kb=1)
+            system = MicroBlazeSystem(config=config, engine=engine)
+            base = system.instr_bram.size - 4 * len(program.text)
+            system.instr_bram.store_words(base, program.text)
+            system._loaded_program = program
+            system.cpu.reset(entry_point=base)
+            with pytest.raises(MemoryError_):
+                system.cpu.run()
+            images[engine] = (bytes(system.data_bram.storage),
+                              system.cpu.stats)
+        assert images["jit"] == images["interp"]
+        assert images["jit"][0][0] == 7  # the store did execute
+
+
+# ------------------------------------------------------------ semantics edges
+class TestSemanticsEdges:
+    def run_asm(self, source, config=PAPER_CONFIG):
+        program = assemble(source)
+        results = run_engines(program, config=config)
+        assert_equivalent(results["interp"], results["jit"])
+        return results["jit"]
+
+    def test_imm_prefix_fusion(self):
+        result = self.run_asm("""
+            li r5, 0x12345678
+            li r6, 0xFFFF0000
+            add r3, r5, r6
+            bri 0
+        """)
+        assert result.return_value == (0x12345678 + 0xFFFF0000) & 0xFFFFFFFF
+
+    def test_imm_latch_survives_into_delay_slot(self):
+        result = self.run_asm("""
+            addi r5, r0, 0
+            addi r6, r0, 8
+            imm 1
+            beqd r5, r6
+            addi r4, r0, 1      # slot sees the latch: r4 = 0x10001
+            add r3, r4, r0
+            bri 0
+        """)
+        assert result.return_value == 0x10001
+
+    def test_delay_slot_cycle_accounting(self):
+        result = self.run_asm("""
+            .entry main
+        sub:
+            add r3, r5, r5
+            rtsd r15, 8
+            addi r3, r3, 1
+        main:
+            addi r5, r0, 4
+            brlid r15, sub
+            addi r5, r5, 1
+            bri 0
+        """)
+        assert result.return_value == 11
+
+    def test_register_indirect_branch_halt(self):
+        result = self.run_asm("""
+            addi r3, r0, 9
+            addi r5, r0, 0
+            br r5               # target == pc: dynamic self-branch halt
+        """)
+        assert result.return_value == 9
+
+    def test_execution_budget_raises_at_same_instruction(self):
+        program = assemble("""
+            addi r5, r0, 100
+        loop:
+            addi r5, r5, -1
+            bnei r5, loop
+            bri 0
+        """)
+        for budget in (1, 2, 3, 50, 101):
+            stats = {}
+            for engine in ("interp", "jit"):
+                system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+                system.load(program)
+                system.cpu.reset(entry_point=program.entry_point)
+                with pytest.raises(ExecutionLimitExceeded):
+                    system.cpu.run(max_instructions=budget)
+                stats[engine] = system.cpu.stats
+            assert stats["jit"] == stats["interp"]
+
+
+# ------------------------------------------------------------ cache invalidation
+class TestCacheInvalidation:
+    LOOP = """
+        addi r5, r0, 10
+        addi r3, r0, 0
+    loop:
+        addi r3, r3, 1
+        addi r5, r5, -1
+        bnei r5, loop
+        bri 0
+    """
+
+    def _warm_system(self):
+        program = assemble(self.LOOP)
+        system = MicroBlazeSystem(config=PAPER_CONFIG, engine="jit")
+        system.load(program)
+        system.cpu.reset(entry_point=program.entry_point)
+        with pytest.raises(ExecutionLimitExceeded):
+            system.cpu.run(max_instructions=8)
+        return system, program
+
+    def test_mid_run_word_patch_takes_effect(self):
+        system, program = self._warm_system()
+        assert system.cpu._blocks, "jit superblocks should be warm"
+        patched = assemble(self.LOOP.replace("addi r3, r3, 1",
+                                             "addi r3, r3, 16"))
+        patch_live_words(system, 8, [patched.text[2]])
+        system.cpu.run()
+        executed_before = 2
+        expected = executed_before * 1 + (10 - executed_before) * 16
+        assert system.cpu.read_register(3) == expected
+
+    def test_selective_invalidation_drops_only_covering_blocks(self):
+        system, program = self._warm_system()
+        cpu = system.cpu
+        blocks_before = dict(cpu._blocks)
+        assert blocks_before
+        cpu.invalidate_decode_cache(8)
+        for entry, block in blocks_before.items():
+            # JIT block layout: (n, fn, entry, end, static_cycles).
+            if block[2] <= 8 <= block[3]:
+                assert entry not in cpu._blocks
+            else:
+                assert entry in cpu._blocks
+        assert 8 not in cpu._decoded
