@@ -119,6 +119,9 @@ class CadArtifactCache:
         self._stage_disk_hits: Dict[str, int] = {}
         self.negative_hits = 0
         self.disk_hits = 0
+        #: Write-throughs to the persistent tier that failed (and were
+        #: swallowed — persistence is an accelerator, not a dependency).
+        self.store_put_errors = 0
         #: Tier that served the most recent :meth:`stage_lookup` hit
         #: (``"memory"`` / ``"disk"`` / ``None`` on a miss) — read by the
         #: flow driver to label the stage record's source.
@@ -177,7 +180,15 @@ class CadArtifactCache:
     def stage_store(self, stage: str, key: str, value: object) -> None:
         self._stages.put(f"{stage}\x00{key}", value)
         if self.disk_store is not None:
-            self.disk_store.stage_put(stage, key, value)
+            try:
+                self.disk_store.stage_put(stage, key, value)
+            except Exception:
+                # The persistent tier is an accelerator, never a
+                # dependency: a job must not fail because write-through
+                # persistence failed (full disk, dead NFS mount, injected
+                # publish fault).  The loss is counted, the entry still
+                # lives in memory, and the next cold process recomputes.
+                self.store_put_errors += 1
 
     def clear(self) -> None:
         """Drop the in-memory tiers (the persistent store, when attached,
@@ -189,6 +200,7 @@ class CadArtifactCache:
         self._stage_disk_hits.clear()
         self.negative_hits = 0
         self.disk_hits = 0
+        self.store_put_errors = 0
         self.last_lookup_tier = None
 
     # -------------------------------------------------------------- accounting
@@ -231,6 +243,7 @@ class CadArtifactCache:
             "hit_rate": round(self.hit_rate, 4),
             "negative_hits": self.negative_hits,
             "disk_hits": self.disk_hits,
+            "store_put_errors": self.store_put_errors,
             "bundle": self._bundle.stats(),
             "stages": self._stages.stats(),
             "per_stage": {stage: {"hits": self._stage_hits.get(stage, 0),

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import chaos
 from ..decompile.kernel import HardwareKernel
 from ..decompile.symexec import SymbolicLoopBody
 from ..fabric.architecture import WclaParameters
@@ -125,6 +126,8 @@ class StageRecord:
     key: Optional[str] = None
     in_bundle: bool = False
     failed: bool = False
+    #: Transient faults absorbed while computing this stage.
+    retries: int = 0
 
 
 # --------------------------------------------------------------------------- context
@@ -246,6 +249,10 @@ class FlowStage:
 # --------------------------------------------------------------------------- driver
 TraceHook = Callable[[StageRecord, FlowContext], None]
 
+#: Transient-fault (``ChaosError``) retries per stage compute before the
+#: fault escapes to the job level.
+STAGE_TRANSIENT_RETRIES = 3
+
 
 class CadFlow:
     """Runs an ordered sequence of stages over one :class:`FlowContext`."""
@@ -310,16 +317,26 @@ class CadFlow:
                     stage.install(context, cached)
                 else:
                     record.source = SOURCE_MISS
-                    value = self._compute(stage, context, key)
+                    value = self._compute(stage, context, key, record)
                     cache.stage_store(stage.name, key, value)
                     stage.install(context, value)
             else:
                 record.source = SOURCE_UNCACHED
-                stage.install(context, self._compute(stage, context, None))
+                stage.install(context,
+                              self._compute(stage, context, None, record))
             stage.validate(context)
             if stage is self._last_bundle_stage:
                 self._store_bundle(context)
         except FlowError:
+            record.failed = True
+            raise
+        except chaos.ChaosError:
+            # Deliberately NOT wrapped in FlowError: a transient injected
+            # fault is an environment failure, not a domain failure of
+            # this stage.  Wrapping it would let the DPM translate it
+            # into a partitioning-failure outcome (software fallback —
+            # silent divergence); unwrapped, it escapes to the job-level
+            # transient retry in the service pool.
             record.failed = True
             raise
         except Exception as error:
@@ -336,14 +353,26 @@ class CadFlow:
                 hook(record, context)
 
     def _compute(self, stage: FlowStage, context: FlowContext,
-                 key: Optional[str]):
-        try:
-            return stage.compute(context)
-        except stage.negative_exceptions as error:
-            if key is not None:
-                context.cache.stage_store(stage.name, key,
-                                          stage.negative_marker(error))
-            raise
+                 key: Optional[str], record: StageRecord):
+        attempts_left = STAGE_TRANSIENT_RETRIES
+        while True:
+            try:
+                if chaos.ACTIVE_PLAN is not None:
+                    chaos.fire(chaos.SITE_CAD_STAGE, label=stage.name)
+                return stage.compute(context)
+            except chaos.ChaosError:
+                # Bounded in-place retry of transient faults: the stage
+                # is pure (it reads the context, returns a value), so
+                # rerunning it is safe and cheaper than failing the job.
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                record.retries += 1
+            except stage.negative_exceptions as error:
+                if key is not None:
+                    context.cache.stage_store(stage.name, key,
+                                              stage.negative_marker(error))
+                raise
 
     # ------------------------------------------------------------ bundle path
     def _try_bundle(self, context: FlowContext) -> None:

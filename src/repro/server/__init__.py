@@ -37,6 +37,7 @@ from .client import (
 from .gateway import DEFAULT_QUEUE_LIMIT, WarpGateway, start_gateway_thread
 from .protocol import (
     GatewayBusyError,
+    GatewayDrainingError,
     HandshakeError,
     MAX_FRAME_BYTES,
     PROTOCOL_MAGIC,
@@ -63,6 +64,7 @@ __all__ = [
     "WarpGateway",
     "start_gateway_thread",
     "GatewayBusyError",
+    "GatewayDrainingError",
     "HandshakeError",
     "MAX_FRAME_BYTES",
     "PROTOCOL_MAGIC",

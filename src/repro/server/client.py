@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, Iterator, Sequence, Tuple, Union
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..digest import shard_index
+from ..retry import DEFAULT_REMOTE_POLICY, RetryPolicy
 from ..service.jobs import ServiceReport, ServiceResult, WarpJob
 from . import protocol
 
@@ -52,13 +53,33 @@ def parse_address(address: Address) -> Tuple[str, int]:
 
 # --------------------------------------------------------------------------- blocking client
 class GatewayClient:
-    """A blocking WARPNET client over one TCP connection."""
+    """A blocking WARPNET client over one TCP connection.
 
-    def __init__(self, address: Address, timeout: float = DEFAULT_TIMEOUT):
+    With a :class:`~repro.retry.RetryPolicy` attached (``retry=``), the
+    request/reply verbs absorb *transient* faults — a ``busy`` rejection
+    (backoff scaled by the gateway's reported queue occupancy), a dropped
+    or reset connection, a timeout — by backing off and retrying on a
+    fresh connection, up to the policy's bounded budget.  Re-sending a
+    verb is safe: jobs are content-addressed and deterministic, so the
+    worst case of a reply lost after execution is wasted gateway work,
+    never a different report.  Typed non-transient errors
+    (:class:`~repro.server.protocol.HandshakeError`,
+    :class:`~repro.server.protocol.GatewayDrainingError`,
+    :class:`~repro.server.protocol.RemoteError`) never retry.  Without a
+    policy (the default) every fault surfaces immediately, as before.
+    """
+
+    def __init__(self, address: Address, timeout: float = DEFAULT_TIMEOUT,
+                 retry: Optional[RetryPolicy] = None):
         self.host, self.port = parse_address(address)
         self.timeout = timeout
+        self.retry = retry
+        self._sock = None
+        self._connect()
+
+    def _connect(self) -> None:
         self._sock = socket.create_connection((self.host, self.port),
-                                              timeout=timeout)
+                                              timeout=self.timeout)
         try:
             protocol.send_frame(self._sock, protocol.hello_frame())
             protocol.check_hello(protocol.recv_frame(self._sock))
@@ -66,12 +87,47 @@ class GatewayClient:
             self._sock.close()
             raise
 
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
     # ----------------------------------------------------------------- plumbing
-    def _round_trip(self, request: Dict) -> Dict:
+    def _round_trip_once(self, request: Dict) -> Dict:
         protocol.send_frame(self._sock, request)
         return protocol.raise_for_error(protocol.recv_frame(self._sock))
 
+    def _round_trip(self, request: Dict) -> Dict:
+        if self.retry is None:
+            return self._round_trip_once(request)
+        schedule = self.retry.delays()
+        reconnect = False
+        while True:
+            occupancy = 0.0
+            try:
+                # Reconnecting happens inside the guarded region: a fault
+                # during the replacement handshake is as transient as the
+                # one that broke the connection, and must consume an
+                # attempt rather than escape the loop.
+                if reconnect:
+                    self._reconnect()
+                    reconnect = False
+                return self._round_trip_once(request)
+            except protocol.HandshakeError:
+                raise  # wrong peer or protocol — retrying cannot help
+            except protocol.GatewayBusyError as error:
+                if schedule.give_up():
+                    raise
+                occupancy = error.occupancy()
+            except (protocol.ProtocolError, TimeoutError,
+                    ConnectionError, OSError, EOFError):
+                if schedule.give_up():
+                    raise
+                reconnect = True
+            schedule.backoff(occupancy)
+
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:  # pragma: no cover
@@ -271,8 +327,19 @@ class RemoteWorkerBackend:
     :class:`WarpJob`, get a :class:`ServiceResult` — never raises; a
     network fault comes back as a failed result, matching the local
     worker contract.  Jobs route across ``addresses`` by the stable
-    content digest (same digest as pool shard affinity), and a dropped
-    connection is retried once on a fresh one before the job is failed.
+    content digest (same digest as pool shard affinity).
+
+    Transient faults — a stale/reset/dropped connection, a submission
+    timeout, a ``busy`` rejection — are retried on a fresh connection
+    with the exponential-backoff-plus-jitter ``retry`` policy, the
+    ``busy`` backoff scaled by the gateway's reported queue occupancy.
+    Resubmission is idempotent: jobs are content-addressed and
+    deterministic, so the worst case of a reply lost after execution is
+    wasted gateway work (usually absorbed by the gateway's own cache),
+    never a different result.  ``busy`` still surviving the whole budget
+    is re-raised typed (backpressure is for the caller to see); a
+    ``draining`` rejection never retries — that gateway wants traffic to
+    stop.  Absorbed retries are counted on the returned result.
 
     Instances are picklable (connections live in a per-process pool, not
     on the instance), so the backend works both serially
@@ -282,12 +349,14 @@ class RemoteWorkerBackend:
     """
 
     def __init__(self, addresses: Sequence[Address],
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retry: RetryPolicy = DEFAULT_REMOTE_POLICY):
         if not addresses:
             raise ValueError("RemoteWorkerBackend needs at least one "
                              "gateway address")
         self.addresses = [parse_address(address) for address in addresses]
         self.timeout = timeout
+        self.retry = retry
 
     def address_for(self, job: WarpJob) -> Tuple[str, int]:
         """Content-affinity gateway routing (stable across processes)."""
@@ -296,27 +365,30 @@ class RemoteWorkerBackend:
 
     def __call__(self, job: WarpJob) -> ServiceResult:
         address = self.address_for(job)
-        try:
-            return self._submit_once(address, job)
-        except protocol.GatewayBusyError:
-            raise  # backpressure is for the caller to see, not to mask
-        except TimeoutError as error:
-            # A timed-out submission may still be *running* on the
-            # gateway; resubmitting would execute the job twice and hold
-            # two admission slots.  Fail it instead — no retry.
-            _drop_pooled_client(address)
-            return self._failed(job, address, error)
-        except (protocol.ProtocolError, ConnectionError, OSError, EOFError):
-            # The pooled connection may have gone stale (gateway restart,
-            # idle timeout); retry exactly once on a fresh connection.
-            _drop_pooled_client(address)
+        schedule = self.retry.delays()
+        while True:
+            occupancy = 0.0
             try:
-                return self._submit_once(address, job)
-            except Exception as error:  # noqa: BLE001 - remote fault boundary
+                result = self._submit_once(address, job)
+                result.retries += schedule.attempts
+                return result
+            except protocol.GatewayDrainingError as error:
+                return self._failed(job, address, error)
+            except protocol.GatewayBusyError as error:
+                if schedule.give_up():
+                    raise  # backpressure is for the caller to see
+                occupancy = error.occupancy()
+            except protocol.HandshakeError as error:
                 _drop_pooled_client(address)
                 return self._failed(job, address, error)
-        except Exception as error:  # noqa: BLE001 - remote fault boundary
-            return self._failed(job, address, error)
+            except (protocol.ProtocolError, TimeoutError,
+                    ConnectionError, OSError, EOFError) as error:
+                _drop_pooled_client(address)
+                if schedule.give_up():
+                    return self._failed(job, address, error)
+            except Exception as error:  # noqa: BLE001 - remote fault boundary
+                return self._failed(job, address, error)
+            schedule.backoff(occupancy)
 
     def _submit_once(self, address: Tuple[str, int],
                      job: WarpJob) -> ServiceResult:
@@ -342,8 +414,10 @@ class RemoteWorkerBackend:
 
     # Connections are per-process state; the instance itself is plain data.
     def __getstate__(self) -> Dict:
-        return {"addresses": self.addresses, "timeout": self.timeout}
+        return {"addresses": self.addresses, "timeout": self.timeout,
+                "retry": self.retry}
 
     def __setstate__(self, state: Dict) -> None:
         self.addresses = [tuple(address) for address in state["addresses"]]
         self.timeout = state["timeout"]
+        self.retry = state.get("retry", DEFAULT_REMOTE_POLICY)

@@ -95,6 +95,11 @@ class WarpGateway:
                                        artifact_cache=artifact_cache)
         self._batches: Dict[str, _Batch] = {}
         self._connections: set = set()
+        #: Graceful-drain state: set by the ``shutdown`` verb.  A
+        #: draining gateway finishes the batches already admitted but
+        #: rejects new submissions with the typed ``draining`` reply,
+        #: and stops once the queue is empty.
+        self._draining = False
         self._queue: "asyncio.Queue[_Batch]" = None
         self._pending_jobs = 0
         self._ids = itertools.count(1)
@@ -184,6 +189,12 @@ class WarpGateway:
                 batch.jobs = []          # results live in the report now
                 batch.done.set()
                 self._prune_finished()
+                if self._draining and self._pending_jobs == 0:
+                    # Drain complete.  The grace sleep lets submit
+                    # handlers woken by ``batch.done`` flush their reply
+                    # frames before teardown closes the connections.
+                    await asyncio.sleep(0.05)
+                    self._stop_event.set()
 
     def _prune_finished(self) -> None:
         """Drop the oldest finished batches beyond the retention bound
@@ -202,8 +213,22 @@ class WarpGateway:
         A batch that could *never* fit gets the distinct, non-retryable
         ``batch-too-large`` error; the 429-style ``busy`` reply is
         reserved for transient fullness, where backing off and retrying
-        can succeed.
+        can succeed — it carries ``queue_depth``/``queue_limit`` so
+        clients back off proportionally to how loaded we actually are.
+        A draining gateway rejects every submission with the typed,
+        equally non-retryable ``draining`` reply.
         """
+        if self._draining:
+            return {
+                "ok": False,
+                "error": "draining",
+                "message": ("gateway is draining: finishing "
+                            f"{self._pending_jobs} admitted jobs, "
+                            "accepting no new submissions"),
+                "pending_jobs": self._pending_jobs,
+                "queue_depth": self._pending_jobs,
+                "queue_limit": self.queue_limit,
+            }
         if len(jobs) > self.queue_limit:
             return {
                 "ok": False,
@@ -223,6 +248,7 @@ class WarpGateway:
                             f"jobs pending, limit {self.queue_limit}, "
                             f"batch of {len(jobs)} rejected"),
                 "pending_jobs": self._pending_jobs,
+                "queue_depth": self._pending_jobs,
                 "queue_limit": self.queue_limit,
             }
         return None
@@ -303,9 +329,18 @@ class WarpGateway:
         elif verb == "cache-stats":
             await self._verb_cache_stats(writer)
         elif verb == "shutdown":
-            await protocol.write_frame(writer, {"ok": True,
-                                                "state": "stopping"})
-            self._stop_event.set()
+            # Graceful drain: admitted batches finish (their submitters
+            # get real reports), new submissions are rejected with the
+            # typed ``draining`` reply, and the gateway stops once the
+            # queue is empty — immediately when it already is.
+            self._draining = True
+            await protocol.write_frame(writer, {
+                "ok": True,
+                "state": "draining" if self._pending_jobs else "stopping",
+                "pending_jobs": self._pending_jobs,
+            })
+            if self._pending_jobs == 0:
+                self._stop_event.set()
             return True
         else:
             await protocol.write_frame(writer, {
@@ -400,7 +435,9 @@ class WarpGateway:
             "ok": True,
             "cache": stats,
             "pending_jobs": self._pending_jobs,
+            "queue_depth": self._pending_jobs,
             "queue_limit": self.queue_limit,
+            "draining": self._draining,
             "batches": {batch_id: batch.state
                         for batch_id, batch in self._batches.items()},
             "mode": self.service.mode,

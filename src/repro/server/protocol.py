@@ -45,14 +45,25 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import socket
 import struct
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import chaos
 from ..fabric.architecture import FabricParameters, WclaParameters
 from ..microblaze.config import MicroBlazeConfig, PipelineTimings
 from ..service.jobs import JobSpecError, WarpJob
 
 #: Handshake magic and protocol version (bump on any frame-shape change).
+#:
+#: Versioning discipline: the version bumps only when an existing frame
+#: shape changes incompatibly.  *Adding* reply keys is explicitly not a
+#: bump — payloads are JSON objects and every decoder reads them with
+#: ``.get()``, so old clients ignore keys they do not know.  This is how
+#: the ``busy`` rejection grew ``queue_depth``/``queue_limit`` and the
+#: ``draining`` rejection was introduced without breaking version-1
+#: clients: an old client still sees a well-formed error reply; only new
+#: clients exploit the extra fields for proportional backoff.
 PROTOCOL_MAGIC = "WARPNET"
 PROTOCOL_VERSION = 1
 
@@ -80,10 +91,27 @@ class GatewayBusyError(Exception):
     """
 
     def __init__(self, message: str, pending_jobs: int = 0,
-                 queue_limit: int = 0):
+                 queue_limit: int = 0, queue_depth: Optional[int] = None):
         super().__init__(message)
         self.pending_jobs = pending_jobs
         self.queue_limit = queue_limit
+        #: Jobs currently queued; falls back to ``pending_jobs`` for
+        #: replies from gateways that predate the field.
+        self.queue_depth = pending_jobs if queue_depth is None \
+            else queue_depth
+
+    def occupancy(self) -> float:
+        """Queue fullness in [0, 1] — drives proportional client backoff."""
+        if self.queue_limit <= 0:
+            return 1.0
+        return min(1.0, self.queue_depth / self.queue_limit)
+
+
+class GatewayDrainingError(Exception):
+    """Typed rejection: the gateway is draining — it is finishing the
+    batch already running but accepts no new submissions.  Not a
+    transient fault: retrying against the same gateway is pointless,
+    callers should fail over or report the job as rejected."""
 
 
 class RemoteError(Exception):
@@ -125,8 +153,32 @@ def frame_length(prefix: bytes) -> int:
 
 
 # ------------------------------------------------------------- blocking transport
+#
+# The wire injection sites live on the *blocking* transport — the client
+# boundary of the channel.  Faulting either direction here exercises the
+# full channel (a truncated write reaches the gateway as an EOF
+# mid-frame; an injected reset on read is what a dropped gateway reply
+# looks like), and it is the side that owns a retry policy.
+
+
+def _abort_socket(sock) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+
+
 def send_frame(sock, payload: Dict[str, Any]) -> None:
-    sock.sendall(encode_frame(payload))
+    blob = encode_frame(payload)
+    if chaos.ACTIVE_PLAN is not None:
+        injection = chaos.fire(chaos.SITE_WIRE_WRITE,
+                               label=str(payload.get("verb", "")))
+        if injection is not None and injection.kind == "truncate":
+            sock.sendall(injection.mangle(blob))
+            _abort_socket(sock)
+            raise ConnectionResetError(
+                "chaos: frame truncated on the wire")
+    sock.sendall(blob)
 
 
 def _recv_exactly(sock, count: int) -> Optional[bytes]:
@@ -145,6 +197,14 @@ def _recv_exactly(sock, count: int) -> Optional[bytes]:
 
 def recv_frame(sock) -> Optional[Dict[str, Any]]:
     """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    if chaos.ACTIVE_PLAN is not None:
+        # "reset" rules raise ConnectionResetError from fire(); a
+        # data-shape injection on the read side means the peer's frame
+        # was cut short, which a real reader sees as a mid-frame close.
+        injection = chaos.fire(chaos.SITE_WIRE_READ)
+        if injection is not None:
+            _abort_socket(sock)
+            raise ProtocolError("chaos: connection closed mid-frame")
     prefix = _recv_exactly(sock, _LENGTH.size)
     if prefix is None:
         return None
@@ -213,7 +273,10 @@ def raise_for_error(reply: Optional[Dict[str, Any]]) -> Dict[str, Any]:
     if kind == "busy":
         raise GatewayBusyError(message,
                                pending_jobs=reply.get("pending_jobs", 0),
-                               queue_limit=reply.get("queue_limit", 0))
+                               queue_limit=reply.get("queue_limit", 0),
+                               queue_depth=reply.get("queue_depth"))
+    if kind == "draining":
+        raise GatewayDrainingError(message)
     raise RemoteError(kind, message)
 
 
@@ -252,6 +315,7 @@ def job_to_plain(job: WarpJob) -> Dict[str, Any]:
         "max_instructions": job.max_instructions,
         "priority": job.priority,
         "stages": list(job.stages) if job.stages is not None else None,
+        "timeout_s": job.timeout_s,
     }
 
 
@@ -278,6 +342,7 @@ def job_from_plain(plain: Dict[str, Any]) -> WarpJob:
         max_instructions=plain.get("max_instructions", 50_000_000),
         priority=plain.get("priority", 0),
         stages=tuple(stages) if stages is not None else None,
+        timeout_s=plain.get("timeout_s"),
     )
 
 

@@ -44,10 +44,13 @@ from __future__ import annotations
 import io
 import os
 import pickle
+import time
 import zlib
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from .. import chaos
 
 try:  # POSIX: real cross-process locking.
     import fcntl
@@ -63,6 +66,11 @@ _HEADER_BYTES = len(STORE_MAGIC) + 2
 
 #: Default size bound (bytes) before mtime-LRU eviction kicks in.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Orphaned ``*.tmp`` files older than this are garbage-collected when a
+#: store opens.  Fresh tmps are left alone: another process may be
+#: between its tmp-write and its atomic rename right now.
+DEFAULT_TMP_MAX_AGE_S = 3600.0
 
 
 class DiskStoreError(Exception):
@@ -83,15 +91,29 @@ class DiskArtifactStore:
     interprets them beyond using them as file names.
     """
 
-    def __init__(self, root, max_bytes: Optional[int] = DEFAULT_MAX_BYTES):
+    def __init__(self, root, max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+                 quarantine_corrupt: bool = True,
+                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None, unbounded)")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        #: When set (the default), a corrupt/truncated entry is moved
+        #: aside and reported as a miss instead of raising — the caller
+        #: recomputes, the flow survives.  Schema-version mismatches are
+        #: never quarantined: those are a build/store disagreement and
+        #: must stay loud.  Disable to get the raising behaviour back
+        #: (the chaos harness does, to prove the faults are real).
+        self.quarantine_corrupt = quarantine_corrupt
+        self.tmp_max_age_s = tmp_max_age_s
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        #: Corrupt/truncated entries quarantined at read time.
+        self.corrupt_entries = 0
+        #: Orphaned tmp files removed by the open-time GC.
+        self.orphan_tmp_removed = 0
         #: Running size estimate so a write only pays a full directory
         #: scan when the bound is (approximately) crossed.  Other
         #: processes' writes are invisible to it, but eviction itself
@@ -99,6 +121,7 @@ class DiskArtifactStore:
         self._approx_bytes: Optional[int] = None
         self.root.mkdir(parents=True, exist_ok=True)
         self._check_marker()
+        self._collect_orphan_tmps()
 
     # ----------------------------------------------------------------- marker
     def _marker_path(self) -> Path:
@@ -124,6 +147,22 @@ class DiskArtifactStore:
         with self._locked():
             if not marker.exists():
                 self._publish(marker, str(STORE_SCHEMA_VERSION).encode())
+
+    def _collect_orphan_tmps(self) -> None:
+        """Remove stale ``.*.tmp`` files left by writers that died between
+        the tmp-write and the atomic rename.  Age-gated: a fresh tmp may
+        belong to a live writer in another process."""
+        if self.tmp_max_age_s is None:
+            return
+        cutoff = time.time() - self.tmp_max_age_s
+        for tmp in self.root.glob(".*.tmp"):
+            try:
+                if tmp.stat().st_mtime >= cutoff:
+                    continue
+                tmp.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent GC
+                continue
+            self.orphan_tmp_removed += 1
 
     # ------------------------------------------------------------------ paths
     def _entry_path(self, stage: str, key: str) -> Path:
@@ -177,6 +216,18 @@ class DiskArtifactStore:
                                  f"{error}") from error
 
     def _publish(self, path: Path, blob: bytes) -> None:
+        if chaos.ACTIVE_PLAN is not None:
+            injection = chaos.fire(chaos.SITE_STORE_PUBLISH, label=path.name)
+            if injection is not None:
+                if injection.kind == "truncate":
+                    blob = injection.mangle(blob)
+                elif injection.kind == "orphan":
+                    # Model a writer dying between tmp-write and rename:
+                    # the tmp is left behind, the entry never appears.
+                    orphan = path.with_name(
+                        f".{path.name}.{os.getpid()}.tmp")
+                    orphan.write_bytes(blob)
+                    return
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(blob)
         os.replace(tmp, path)
@@ -185,10 +236,14 @@ class DiskArtifactStore:
     def stage_get(self, stage: str, key: str) -> Optional[object]:
         """Fetch one stage entry, or ``None`` on a miss.
 
-        A hit refreshes the entry's mtime (the LRU clock).  Unsupported
-        schema versions raise :class:`DiskStoreSchemaError`; a truncated
-        or undecodable payload raises :class:`DiskStoreError` — both are
-        loud by design.
+        A hit refreshes the entry's mtime (the LRU clock).  A truncated,
+        zero-length or undecodable entry is **quarantined** (moved to
+        ``<name>.quarantine``, counted in ``corrupt_entries``) and
+        reported as a miss so the caller recomputes — unless
+        ``quarantine_corrupt`` is off, in which case it raises
+        :class:`DiskStoreError`.  Unsupported schema versions always
+        raise :class:`DiskStoreSchemaError`: the build and the store
+        disagree, and recomputing would silently discard a warm store.
         """
         path = self._entry_path(stage, key)
         try:
@@ -196,13 +251,43 @@ class DiskArtifactStore:
         except FileNotFoundError:
             self.misses += 1
             return None
-        value = self._decode(blob, str(path))
+        if chaos.ACTIVE_PLAN is not None:
+            injection = chaos.fire(chaos.SITE_STORE_LOAD, label=path.name)
+            if injection is not None:
+                # Corrupt the payload, not the header: header damage is
+                # bit-rot too, but a flipped schema byte would look like
+                # a version mismatch, which is a different (loud) path.
+                if len(blob) > _HEADER_BYTES:
+                    blob = (blob[:_HEADER_BYTES]
+                            + injection.mangle(blob[_HEADER_BYTES:]))
+                else:
+                    blob = injection.mangle(blob)
+        try:
+            value = self._decode(blob, str(path))
+        except DiskStoreSchemaError:
+            raise
+        except DiskStoreError:
+            if not self.quarantine_corrupt:
+                raise
+            self._quarantine(path)
+            self.corrupt_entries += 1
+            self.misses += 1
+            return None
         try:
             os.utime(path)
         except OSError:  # pragma: no cover - entry evicted under our feet
             pass
         self.hits += 1
         return value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``<name>.quarantine``) so the next
+        lookup recomputes instead of re-tripping on it, while the bad
+        bytes stay on disk for a post-mortem."""
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantine"))
+        except FileNotFoundError:  # pragma: no cover - evicted meanwhile
+            pass
 
     def stage_put(self, stage: str, key: str, value: object) -> None:
         """Publish one stage entry atomically, then enforce the size bound
@@ -264,6 +349,8 @@ class DiskArtifactStore:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        self.corrupt_entries = 0
+        self.orphan_tmp_removed = 0
         self._approx_bytes = None
 
     # -------------------------------------------------------------- accounting
@@ -285,4 +372,6 @@ class DiskArtifactStore:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "orphan_tmp_removed": self.orphan_tmp_removed,
         }

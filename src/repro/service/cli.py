@@ -57,6 +57,7 @@ to ``--out``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
@@ -98,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="persistent on-disk CAD artifact store "
                               "directory (created if missing; shared by "
                               "pool workers)")
+        sub.add_argument("--chaos-seed", type=int, default=None,
+                         help="install the standard deterministic fault "
+                              "plan with this seed (exported to pool "
+                              "workers): injected wire/store/CAD faults "
+                              "exercise the recovery policies — the report "
+                              "stays identical to a fault-free run, only "
+                              "slower")
         output(sub)
 
     def sweep_flags(sub: argparse.ArgumentParser) -> None:
@@ -158,6 +166,9 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-wait", action="store_true",
                         help="enqueue and print the batch id instead of "
                              "waiting for the report")
+    submit.add_argument("--no-retry", action="store_true",
+                        help="fail on the first transient gateway error "
+                             "instead of retrying with backoff")
     output(submit)
 
     remote = subparsers.add_parser(
@@ -216,7 +227,8 @@ def load_job_file(path: Path) -> List[WarpJob]:
                            f"'jobs' array")
     jobs: List[WarpJob] = []
     allowed = {"name", "benchmark", "source", "small", "engine", "priority",
-               "max_instructions", "config", "config_label", "stages"}
+               "max_instructions", "config", "config_label", "stages",
+               "timeout_s"}
     for index, entry in enumerate(entries):
         if not isinstance(entry, dict) or "name" not in entry:
             raise JobSpecError(f"{path}: job #{index} must be an object with "
@@ -243,6 +255,7 @@ def load_job_file(path: Path) -> List[WarpJob]:
             # Shape, registry membership and slot coverage are validated by
             # WarpJob itself (JobSpecError).
             stages=entry.get("stages"),
+            timeout_s=entry.get("timeout_s"),
         ))
     return jobs
 
@@ -315,22 +328,27 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
+    from ..retry import DEFAULT_REMOTE_POLICY
     from ..server import client as server_client
-    from ..server.protocol import GatewayBusyError, HandshakeError, \
-        ProtocolError, RemoteError
+    from ..server.protocol import GatewayBusyError, GatewayDrainingError, \
+        HandshakeError, ProtocolError, RemoteError
 
     jobs = load_job_file(args.jobfile)
     try:
         server_client.parse_address(args.gateway)
     except ValueError as error:
         raise JobSpecError(str(error)) from error
+    retry = None if args.no_retry else DEFAULT_REMOTE_POLICY
     try:
-        with server_client.GatewayClient(args.gateway) as client:
+        with server_client.GatewayClient(args.gateway, retry=retry) as client:
             if args.no_wait:
                 batch_id = client.submit(jobs, wait=False)
                 print(batch_id)
                 return 0
             report = client.submit(jobs, wait=True)
+    except GatewayDrainingError as error:
+        print(f"repro-warp: gateway draining: {error}", file=sys.stderr)
+        return 3
     except GatewayBusyError as error:
         print(f"repro-warp: gateway busy (429): {error}", file=sys.stderr)
         return 3
@@ -388,8 +406,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .pool import configure_process_store
         artifact_cache = configure_process_store(args.store)
 
-    with WarpService(workers=args.workers, policy=args.policy,
-                     artifact_cache=artifact_cache) as service:
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "chaos_seed", None) is not None:
+            from .. import chaos
+            # export=True ships the plan to pool workers through the
+            # environment; recovery keeps the report identical to a
+            # fault-free run, so this is a live drill, not a demo mode.
+            stack.enter_context(chaos.active_plan(
+                chaos.standard_plan(args.chaos_seed), export=True))
+        service = stack.enter_context(
+            WarpService(workers=args.workers, policy=args.policy,
+                        artifact_cache=artifact_cache))
         reports: List[ServiceReport] = []
         for _ in range(repeats):
             reports.append(service.run(jobs))

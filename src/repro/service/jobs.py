@@ -79,6 +79,13 @@ class WarpJob:
     max_instructions: int = 50_000_000
     priority: int = 0
     stages: Optional[Tuple[str, ...]] = None
+    #: Wall-clock budget for this job's execution (``None`` = unbounded).
+    #: Enforced by the pool watchdog: a pooled job still running past its
+    #: budget has its shard killed and is reported as a timeout, while
+    #: innocent jobs queued behind it are retried in a fresh pool.  Like
+    #: ``name``/``priority`` this is scheduling metadata, not content —
+    #: it does not participate in :meth:`dedup_key`.
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.benchmark is None) == (self.source is None):
@@ -86,6 +93,14 @@ class WarpJob:
                 f"job {self.name!r}: specify exactly one of 'benchmark' or "
                 f"'source'"
             )
+        if self.timeout_s is not None:
+            if not isinstance(self.timeout_s, (int, float)) \
+                    or isinstance(self.timeout_s, bool) \
+                    or self.timeout_s <= 0:
+                raise JobSpecError(
+                    f"job {self.name!r}: 'timeout_s' must be a positive "
+                    f"number of seconds, not {self.timeout_s!r}"
+                )
         if self.engine is not None:
             # Validate against the engine registry at submission time, so
             # a typo fails with one clear error naming the registered
@@ -175,6 +190,12 @@ class ServiceResult:
     #: Set on results fanned out from a deduplicated job: the name of the
     #: job whose execution produced these numbers.
     deduped_from: Optional[str] = None
+    #: Resilience accounting: transient-fault / crash / remote retries
+    #: absorbed while producing this result, and watchdog timeouts
+    #: (``timeouts > 0`` with ``ok=True`` means this innocent job was
+    #: re-run after a neighbour hung its shard).
+    retries: int = 0
+    timeouts: int = 0
 
     # ----------------------------------------------------------------- metrics
     def speedups(self) -> Dict[str, float]:
@@ -186,6 +207,23 @@ class ServiceResult:
 
     def to_plain(self) -> Dict:
         return asdict(self)
+
+    #: The deterministic projection of a result: the fields that must be
+    #: bit-identical between a fault-free run and a run under a recovered
+    #: fault plan.  Cache counters, wall times, pids and the resilience
+    #: counters are *execution* accounting — they legitimately differ
+    #: when a fault forces a retry or a recompute.  (The same field list
+    #: the CI gateway smoke test compares.)
+    CANONICAL_FIELDS = (
+        "job_name", "workload", "config_label", "engine", "ok", "error",
+        "partitioned", "partition_reason", "checksum_ok", "speedup",
+        "software_ms", "warp_ms", "dpm_ms", "mb_energy_mj",
+        "warp_energy_mj", "normalized_warp_energy", "deduped_from",
+    )
+
+    def canonical(self) -> Dict:
+        """Deterministic fields only — the chaos-differential identity."""
+        return {name: getattr(self, name) for name in self.CANONICAL_FIELDS}
 
     @classmethod
     def from_plain(cls, plain: Dict) -> "ServiceResult":
@@ -240,8 +278,24 @@ class ServiceReport:
         """Stage lookups served by the persistent disk store tier."""
         return sum(result.cache_disk_hits for result in self.results)
 
+    @property
+    def total_retries(self) -> int:
+        """Retries absorbed across the batch (transient faults, crashed
+        or hung neighbours, remote resubmissions)."""
+        return sum(result.retries for result in self.results)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Watchdog timeouts across the batch."""
+        return sum(result.timeouts for result in self.results)
+
     def succeeded(self) -> List[ServiceResult]:
         return [result for result in self.results if result.ok]
+
+    def canonical(self) -> List[Dict]:
+        """The report's deterministic identity, in job order — what the
+        chaos differential harness compares bit-for-bit."""
+        return [result.canonical() for result in self.results]
 
     # ---------------------------------------------------------------- stages
     def stage_order(self) -> List[str]:
@@ -323,6 +377,9 @@ class ServiceReport:
             f"({100 * self.cache_hit_rate:.0f}% hit rate, "
             f"{self.cache_negative_hits} memoized capacity rejections)",
         ]
+        if self.total_retries or self.total_timeouts:
+            lines.append(f"Resilience: {self.total_retries} retries, "
+                         f"{self.total_timeouts} watchdog timeouts")
         if self.succeeded():
             lines.append("")
             lines.append(self.speedup_table())
@@ -345,6 +402,10 @@ class ServiceReport:
                 "hit_rate": round(self.cache_hit_rate, 4),
                 "negative_hits": self.cache_negative_hits,
                 "disk_hits": self.cache_disk_hits,
+            },
+            "resilience": {
+                "retries": self.total_retries,
+                "timeouts": self.total_timeouts,
             },
             "stages": {
                 stage: {
@@ -436,5 +497,5 @@ def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
     return replace(result, job_name=job.name, config_label=job.config_label,
                    deduped_from=result.job_name,
                    cache_hits=0, cache_misses=0, cache_negative_hits=0,
-                   cache_disk_hits=0,
+                   cache_disk_hits=0, retries=0, timeouts=0,
                    stage_wall_ms={}, stage_cache={}, wall_seconds=0.0)

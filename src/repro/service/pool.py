@@ -19,13 +19,20 @@ Execution model:
   shard creation.
 
 Fault handling: a job that raises is caught *inside* the worker and comes
-back as a failed :class:`~repro.service.jobs.ServiceResult`.  A job that
-kills its worker outright (the interpreter dies) breaks only its own
-shard — the other shards keep computing — and every job queued on the
+back as a failed :class:`~repro.service.jobs.ServiceResult`; transient
+faults (:class:`~repro.chaos.ChaosError`) are retried in place first.  A
+job that kills its worker outright (the interpreter dies) breaks only its
+own shard — the other shards keep computing — and every job queued on the
 broken shard is retried once in a fresh isolated single-worker pool:
-innocent victims complete normally, and only the job that kills its
-worker a second time is reported as failed.  Broken shards are replaced
-lazily; subsequent batches run normally.
+innocent victims complete normally (their results count one retry), and
+only the job that kills its worker a second time is reported as failed.
+A job with a ``timeout_s`` budget that is still running past it is
+handled by the pool *watchdog*: the hung shard's worker is killed, the
+job is reported as a timeout (``timeouts=1``), and the jobs queued behind
+it go through the same innocent-retry path as a crash.  Broken shards
+are replaced lazily; subsequent batches run normally.  (Timeouts are a
+pool feature: the serial path runs jobs on the service's own thread and
+cannot preempt them.)
 """
 
 from __future__ import annotations
@@ -33,10 +40,12 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from pathlib import Path
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import chaos
 from ..cad import SOURCE_DISK, SOURCE_NEGATIVE
 from ..compiler import compile_source_cached
 from ..digest import shard_index
@@ -103,14 +112,54 @@ def configure_process_store(path) -> CadArtifactCache:
 
 
 # --------------------------------------------------------------------------- job execution
+#: Transient-fault (``ChaosError``) retries per job on top of the
+#: per-stage retries of the CAD flow.
+JOB_TRANSIENT_RETRIES = 2
+
+
 def execute_job(job: WarpJob,
                 artifact_cache: Optional[CadArtifactCache] = None) -> ServiceResult:
     """Run one warp job to a :class:`ServiceResult` (never raises).
 
     This is the single execution path for both the serial mode and the
-    pool workers: compile (memoized), profile, partition (through the
-    content-addressed CAD cache), co-simulate, and evaluate the Figure-5
-    energies for the software-only and warp-processed runs.
+    pool workers.  Transient faults (:class:`~repro.chaos.ChaosError`,
+    injected or real environment hiccups classified as retryable) restart
+    the whole attempt up to :data:`JOB_TRANSIENT_RETRIES` times — each
+    attempt builds a *fresh* result, so a half-filled attempt never leaks
+    stage accounting into the report — with the absorbed retries counted
+    on the final result.  Everything else fails the job immediately.
+    """
+    chaos.ensure_process_plan()
+    start = time.perf_counter()
+    retries = 0
+    while True:
+        try:
+            if chaos.ACTIVE_PLAN is not None:
+                chaos.fire(chaos.SITE_WORKER_JOB, label=job.name)
+            result = _execute_attempt(job, artifact_cache)
+        except chaos.ChaosError as error:
+            if retries >= JOB_TRANSIENT_RETRIES:
+                result = _failed_result(
+                    job, f"{type(error).__name__}: {error}")
+                break
+            retries += 1
+            continue
+        break
+    result.retries += retries
+    result.worker_pid = os.getpid()
+    result.wall_seconds = time.perf_counter() - start
+    return result
+
+
+def _execute_attempt(job: WarpJob,
+                     artifact_cache: Optional[CadArtifactCache]) -> ServiceResult:
+    """One execution attempt: compile (memoized), profile, partition
+    (through the content-addressed CAD cache), co-simulate, and evaluate
+    the Figure-5 energies for the software-only and warp-processed runs.
+
+    Transient :class:`~repro.chaos.ChaosError` faults propagate (the
+    caller owns the retry loop); every other exception is absorbed into a
+    failed result — the job isolation boundary.
     """
     start = time.perf_counter()
     result = ServiceResult(
@@ -177,6 +226,8 @@ def execute_job(job: WarpJob,
         result.mb_energy_mj = mb_energy.total_mj
         result.warp_energy_mj = w_energy.total_mj
         result.normalized_warp_energy = w_energy.normalized_to(mb_energy)
+    except chaos.ChaosError:
+        raise
     except Exception as error:  # noqa: BLE001 - job isolation boundary
         result.ok = False
         result.error = f"{type(error).__name__}: {error}"
@@ -203,6 +254,14 @@ def _failed_result(job: WarpJob, message: str) -> ServiceResult:
 def _worker_died(job: WarpJob, error: BaseException) -> ServiceResult:
     return _failed_result(
         job, f"worker process died while running this job: {error}")
+
+
+def _timed_out_result(job: WarpJob, timeout_s: float) -> ServiceResult:
+    result = _failed_result(
+        job, f"TimeoutError: job exceeded its {timeout_s:g}s wall-clock "
+             f"budget; the watchdog killed its worker")
+    result.timeouts = 1
+    return result
 
 
 def _backend_failed(job: WarpJob, error: BaseException) -> ServiceResult:
@@ -277,6 +336,27 @@ class WarpService:
         if executor is not None:
             executor.shutdown(wait=False)
 
+    def _kill_shard(self, index: int) -> None:
+        """Forcibly terminate a shard whose worker is *hung* (not dead).
+
+        ``ProcessPoolExecutor`` has no public cancel-running-work API,
+        and simply dropping the executor would leave the hung worker
+        alive — a non-daemon child that blocks interpreter exit at the
+        atexit join.  Killing the worker process flags the executor
+        broken, which fails its queued futures with
+        ``BrokenProcessPool`` — the same signal a crash produces, so the
+        innocent-retry path downstream handles both identically.
+        """
+        executor = self._shards.pop(index, None)
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 - already-dead race
+                pass
+        executor.shutdown(wait=False)
+
     def close(self) -> None:
         """Shut every shard down (idempotent)."""
         for executor in self._shards.values():
@@ -324,6 +404,7 @@ class WarpService:
 
     def _run_pooled(self, plan: List[ScheduledJob]) -> Dict[str, ServiceResult]:
         submissions = []
+        submit_time = time.monotonic()
         for slot in plan:
             shard = self._shard_index(slot.job)
             submissions.append(
@@ -332,22 +413,48 @@ class WarpService:
         results: Dict[str, ServiceResult] = {}
         broken: List[ScheduledJob] = []
         dead_shards = set()
+        timed_out_shards = set()
         for slot, shard, future in submissions:
+            if shard in dead_shards:
+                # The shard died (crash or watchdog kill) while an
+                # earlier job was being collected; everything queued
+                # behind it is an innocent victim — retry, don't wait.
+                broken.append(slot)
+                continue
+            # Watchdog deadline: shard queues are FIFO and collected in
+            # the same order, so when this wait times out, *this* job is
+            # the one hogging the worker — innocents behind it go to the
+            # broken-shard retry path.
+            deadline = None
+            if slot.timeout_s is not None:
+                deadline = max(0.0, submit_time + slot.timeout_s
+                               - time.monotonic())
             try:
-                results[slot.job.name] = future.result()
+                results[slot.job.name] = future.result(timeout=deadline)
+            except FuturesTimeoutError:
+                self._kill_shard(shard)
+                dead_shards.add(shard)
+                timed_out_shards.add(shard)
+                results[slot.job.name] = _timed_out_result(slot.job,
+                                                           slot.timeout_s)
             except BrokenProcessPool:
                 broken.append(slot)
                 dead_shards.add(shard)
             except Exception as error:  # noqa: BLE001 - submission-side fault
                 results[slot.job.name] = _backend_failed(slot.job, error)
-        for shard in dead_shards:
+        for shard in dead_shards - timed_out_shards:
             # The shard's worker died; drop the executor (a fresh one is
             # created lazily on the next submission to this shard).
+            # Watchdog-killed shards were already removed by _kill_shard.
             self._drop_shard(shard)
         for slot in broken:
             # Re-run every job queued on a dead shard in an isolated pool:
-            # innocent victims complete, the actual crasher fails cleanly.
-            results[slot.job.name] = self._retry_isolated(slot.job)
+            # innocent victims complete (counted as one retry), the
+            # actual crasher fails cleanly.
+            result = self._retry_isolated(slot.job,
+                                          timeout_s=slot.timeout_s)
+            result.retries += 1
+            results[slot.job.name] = result
         return results
 
     def _run_backend(self, job: WarpJob) -> ServiceResult:
@@ -356,9 +463,23 @@ class WarpService:
         except Exception as error:  # noqa: BLE001 - backend isolation boundary
             return _backend_failed(job, error)
 
-    def _retry_isolated(self, job: WarpJob) -> ServiceResult:
+    def _retry_isolated(self, job: WarpJob,
+                        timeout_s: Optional[float] = None) -> ServiceResult:
         try:
             with ProcessPoolExecutor(max_workers=1) as isolated:
-                return isolated.submit(self._worker_fn, job).result()
+                future = isolated.submit(self._worker_fn, job)
+                try:
+                    return future.result(timeout=timeout_s)
+                except FuturesTimeoutError:
+                    # Hung again, alone this time: kill the worker so
+                    # the ``with`` join below can complete, and report
+                    # the timeout.
+                    for process in list(getattr(isolated, "_processes",
+                                                {}).values()):
+                        try:
+                            process.kill()
+                        except Exception:  # noqa: BLE001
+                            pass
+                    return _timed_out_result(job, timeout_s)
         except BrokenProcessPool as error:
             return _worker_died(job, error)

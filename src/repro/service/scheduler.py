@@ -39,6 +39,17 @@ class ScheduledJob:
         """How many submitted jobs this slot satisfies."""
         return 1 + len(self.duplicates)
 
+    @property
+    def timeout_s(self):
+        """Effective wall-clock budget: the *tightest* timeout across the
+        dedup group — one execution satisfies every twin, so it must meet
+        the strictest submitter's deadline.  ``None`` when no job of the
+        group set one."""
+        timeouts = [job.timeout_s
+                    for job in [self.job] + self.duplicates
+                    if job.timeout_s is not None]
+        return min(timeouts) if timeouts else None
+
 
 class JobScheduler:
     """Deduplicating priority/FIFO scheduler for warp jobs."""

@@ -28,6 +28,7 @@ from repro.server import (
     DiskStoreSchemaError,
     GatewayBusyError,
     GatewayClient,
+    GatewayDrainingError,
     HandshakeError,
     ProtocolError,
     RemoteError,
@@ -271,7 +272,9 @@ class TestDiskArtifactStore:
         assert str(STORE_SCHEMA_VERSION) in str(excinfo.value)
 
     def test_bad_magic_and_corrupt_payload_are_loud(self, tmp_path):
-        store = DiskArtifactStore(tmp_path)
+        """With quarantine disabled, corruption is a loud typed error —
+        the pre-quarantine contract is still available for debugging."""
+        store = DiskArtifactStore(tmp_path, quarantine_corrupt=False)
         path = store._entry_path("route", "bad")
         path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
         with pytest.raises(DiskStoreError, match="magic"):
@@ -281,6 +284,48 @@ class TestDiskArtifactStore:
                          + b"truncated-not-zlib")
         with pytest.raises(DiskStoreError, match="corrupt"):
             store.stage_get("route", "bad")
+
+    def test_corrupt_entry_is_quarantined_by_default(self, tmp_path):
+        """Default stores treat corruption as a cache miss: the entry is
+        moved aside (never deleted — it is evidence), counted, and the
+        caller recomputes.  Schema mismatches stay loud either way."""
+        store = DiskArtifactStore(tmp_path)
+        store.stage_put("route", "bad", {"x": 1})
+        path = store._entry_path("route", "bad")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])  # torn write
+        assert store.stage_get("route", "bad") is None
+        assert store.corrupt_entries == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantine").exists()
+        # The slot is reusable after recompute.
+        store.stage_put("route", "bad", {"x": 1})
+        assert store.stage_get("route", "bad") == {"x": 1}
+
+    def test_zero_length_entry_is_tolerated(self, tmp_path):
+        """Satellite: a crash between open and write leaves a zero-length
+        file; it must read as a miss, not an exception."""
+        store = DiskArtifactStore(tmp_path)
+        store._entry_path("route", "empty").write_bytes(b"")
+        assert store.stage_get("route", "empty") is None
+        assert store.corrupt_entries == 1
+
+    def test_orphan_tmp_files_are_collected_at_open(self, tmp_path):
+        """Satellite: ``*.tmp`` droppings from a crashed publisher are
+        swept at open once old enough; fresh ones are left alone (their
+        writer may still be mid-publish)."""
+        import os
+        store = DiskArtifactStore(tmp_path)
+        stale = tmp_path / ".stale-entry.tmp"
+        stale.write_bytes(b"partial")
+        old_time = time.time() - 7200
+        os.utime(stale, (old_time, old_time))
+        fresh = tmp_path / ".fresh-entry.tmp"
+        fresh.write_bytes(b"partial")
+        reopened = DiskArtifactStore(tmp_path)
+        assert not stale.exists()
+        assert fresh.exists()
+        assert reopened.orphan_tmp_removed == 1
 
     def test_store_level_schema_marker_is_checked_at_open(self, tmp_path):
         DiskArtifactStore(tmp_path)  # writes the marker
@@ -403,6 +448,10 @@ class TestGateway:
                                            small=True)])
                 assert excinfo.value.queue_limit == 2
                 assert excinfo.value.pending_jobs == 2
+                # The busy reply carries the live queue shape so clients
+                # can scale their backoff by occupancy.
+                assert excinfo.value.queue_depth == 2
+                assert excinfo.value.occupancy() == 1.0
                 # Once the queue drains, the same submission is admitted:
                 # busy is transient, and the gateway survived it.
                 while client.status(batch_id)["state"] != "done":
@@ -410,6 +459,27 @@ class TestGateway:
                 report = client.submit([WarpJob(name="late", benchmark="brev",
                                                 small=True)])
                 assert report.num_failed == 0
+
+    def test_graceful_drain_finishes_admitted_work(self):
+        """The shutdown verb drains: in-flight batches run to completion
+        and stay observable, while new submissions get the typed (and
+        unlike busy, non-retryable) draining rejection."""
+        slow_service = WarpService(workers=0, worker_fn=_slow_worker)
+        with running_gateway(service=slow_service) as gateway:
+            with GatewayClient(gateway.address) as client:
+                batch_id = client.submit(
+                    [WarpJob(name="inflight", benchmark="brev", small=True)],
+                    wait=False)
+                client.shutdown()  # acknowledged while work is pending;
+                #                    the shutdown verb ends its connection
+            with GatewayClient(gateway.address) as client:
+                with pytest.raises(GatewayDrainingError, match="draining"):
+                    client.submit([WarpJob(name="late", benchmark="brev",
+                                           small=True)])
+                # The admitted batch still completes and streams out.
+                results = list(client.stream_results(batch_id))
+                assert [r.job_name for r in results] == ["inflight"]
+                assert results[0].ok
 
     def test_oversized_batches_are_rejected_as_unretryable(self):
         """A batch that can never fit is not `busy` (retrying would loop
