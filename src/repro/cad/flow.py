@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .. import chaos
+from .. import chaos, obs
 from ..decompile.kernel import HardwareKernel
 from ..decompile.symexec import SymbolicLoopBody
 from ..fabric.architecture import WclaParameters
@@ -291,6 +291,15 @@ class CadFlow:
     def _run_stage(self, stage: FlowStage, context: FlowContext) -> None:
         start = time.perf_counter()
         record = StageRecord(stage=stage.name, in_bundle=stage.in_bundle)
+        # The stage span nests under whatever the calling thread has open
+        # (the worker's execute span), so a job's per-stage timeline joins
+        # its trace without the flow knowing about jobs at all.
+        with obs.span("cad-stage", stage=stage.name) as stage_span:
+            self._run_stage_body(stage, context, record, start, stage_span)
+
+    def _run_stage_body(self, stage: FlowStage, context: FlowContext,
+                        record: StageRecord, start: float,
+                        stage_span) -> None:
         try:
             cache = context.cache
             if stage.in_bundle and cache is not None \
@@ -348,6 +357,14 @@ class CadFlow:
                 record.modelled_cycles = stage.modelled_cycles(context)
                 record.modelled_seconds = record.modelled_cycles \
                     / (context.cost_model.clock_mhz * 1e6)
+            if obs.ACTIVE is not None:
+                if stage_span is not None:
+                    stage_span.set(source=record.source,
+                                   retries=record.retries,
+                                   failed=record.failed)
+                if not record.failed:
+                    obs.inc("warp_stage_lookups_total", stage=record.stage,
+                            source=record.source)
             context.records.append(record)
             for hook in self.trace_hooks:
                 hook(record, context)
@@ -368,6 +385,8 @@ class CadFlow:
                     raise
                 attempts_left -= 1
                 record.retries += 1
+                if obs.ACTIVE is not None:
+                    obs.inc("warp_retries_total", site="cad-stage")
             except stage.negative_exceptions as error:
                 if key is not None:
                     context.cache.stage_store(stage.name, key,

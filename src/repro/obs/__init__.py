@@ -1,0 +1,511 @@
+"""Unified telemetry plane for the warp service stack.
+
+One process-wide :class:`Telemetry` object couples a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+histograms) with a :class:`~repro.obs.trace.SpanSink` (per-job trace
+spans).  Every layer of the stack — scheduler, worker pool, CAD flow,
+artifact store, wire protocol, gateway — reports into it, and the
+``metrics`` wire verb / ``repro-warp top`` / the Prometheus exposition
+read out of it.
+
+**Zero overhead when disabled** — the same gating discipline as
+:mod:`repro.chaos`: hot call sites read the module-level :data:`ACTIVE`
+and compare against ``None``::
+
+    from .. import obs
+    ...
+    if obs.ACTIVE is not None:
+        obs.inc("warp_retries_total", site="cad-stage")
+
+With no telemetry installed that is one module attribute load and an
+``is`` check — no call, no allocation.  (:func:`span` additionally
+returns a shared no-op context manager, so ``with obs.span(...)`` costs
+two trivial method calls when disabled; keep it off per-instruction hot
+loops and on per-stage/per-job boundaries.)
+
+**Cross-process aggregation** — pool workers cannot write into the
+parent's registry.  Instead the primary process exports a *spool
+directory* under :data:`SPOOL_ENV_VAR` (the same shipping mechanism as
+``REPRO_CAD_STORE`` and ``REPRO_CHAOS_PLAN``); the worker entry point
+calls :func:`ensure_process_telemetry` which installs a fresh
+per-process telemetry pointed at the spool, and after every job the
+worker atomically rewrites ``metrics-<pid>.json`` (its registry's full
+snapshot — idempotent totals, so a crashed worker loses at most its
+last job) and appends its new spans to ``spans-<pid>.jsonl``.  The
+primary's :meth:`Telemetry.collect` merges the spool into its own
+registry snapshot and drains spooled spans into its own sink, so the
+``metrics`` verb sees the whole pool.
+
+**Trace identity** — every :class:`~repro.service.jobs.WarpJob` gets a
+``trace_id`` when telemetry is active; the job's root span reuses the
+trace id as its span id, child spans chain ``parent_id``, and the
+worker-side spans (execute, CAD stages, store I/O) join the same trace
+through the job object itself — so one job's timeline reconstructs end
+to end from the flat span list, across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    merge_snapshots,
+    prometheus_text,
+)
+from .trace import (
+    DEFAULT_SPAN_CAPACITY,
+    Span,
+    SpanSink,
+    new_id,
+    spans_from_jsonl,
+)
+
+#: Environment variable carrying the spool directory into worker
+#: processes (same shipping mechanism as ``REPRO_CAD_STORE``).
+SPOOL_ENV_VAR = "REPRO_OBS_SPOOL"
+
+#: The process-wide installed telemetry, or ``None`` (the common case).
+#: Hot call sites read this directly; everything else goes through
+#: :func:`install` / :func:`clear`.
+ACTIVE: Optional["Telemetry"] = None
+
+#: Pid that last checked :data:`SPOOL_ENV_VAR` — per *process*, so a
+#: forked pool worker (fresh pid) re-reads the environment its parent
+#: exported even though it inherited the parent's module state.
+_ENV_CHECKED_PID: Optional[int] = None
+
+#: Collectors: callables invoked with the registry right before every
+#: snapshot, to publish state that lives elsewhere (cache counters,
+#: compile-cache stats, chaos injection tallies) as gauge families
+#: without any hot-path writes.  Registered once per module via
+#: :func:`add_collector`; exceptions are swallowed — telemetry must
+#: never take the service down.
+_COLLECTORS: List[Callable[[MetricsRegistry], None]] = []
+
+_CONTEXT = threading.local()
+
+
+# ----------------------------------------------------------------- telemetry
+class Telemetry:
+    """One process's metrics registry + span sink (+ optional spool)."""
+
+    def __init__(self, spool_dir=None, primary: bool = True,
+                 span_capacity: int = DEFAULT_SPAN_CAPACITY):
+        self.registry = MetricsRegistry()
+        self.spans = SpanSink(capacity=span_capacity)
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        #: Primary = the installing/aggregating process; workers are
+        #: installed by :func:`ensure_process_telemetry` with
+        #: ``primary=False`` and *write* the spool instead of merging it.
+        self.primary = primary
+        self.owner_pid = os.getpid()
+        #: Spans already appended to this worker's spool file.
+        self._spooled_spans = 0
+        #: Primary-side read offsets into each worker's span file.
+        self._span_offsets: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, Dict]:
+        """This process's families (collectors included), no spool."""
+        for collector in list(_COLLECTORS):
+            try:
+                collector(self.registry)
+            except Exception:  # noqa: BLE001 - observability never fails work
+                pass
+        return self.registry.snapshot()
+
+    def collect(self) -> Dict[str, Dict]:
+        """The aggregate snapshot: this process merged with the spool
+        (worker metrics files), draining spooled spans into our sink."""
+        snapshots = [self.snapshot()]
+        if self.spool_dir is not None and self.primary:
+            snapshots.extend(self._read_spool_metrics())
+            self._drain_spool_spans()
+        return merge_snapshots(snapshots)
+
+    # ----------------------------------------------------------- worker side
+    def flush_to_spool(self) -> None:
+        """Worker side: publish this process's telemetry to the spool.
+
+        The metrics file is the registry's *full* snapshot, atomically
+        replaced (totals are idempotent — re-flushing is harmless); new
+        spans are appended.  Any I/O error is swallowed: losing a
+        flush loses observability, never a job.
+        """
+        if self.spool_dir is None:
+            return
+        try:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+            pid = os.getpid()
+            blob = json.dumps(self.snapshot(), separators=(",", ":"))
+            path = self.spool_dir / f"metrics-{pid}.json"
+            tmp = path.with_name(f".{path.name}.tmp")
+            tmp.write_text(blob)
+            os.replace(tmp, path)
+            lines = self.spans.to_jsonl(since=self._spooled_spans)
+            self._spooled_spans = self.spans.cursor
+            if lines:
+                with open(self.spool_dir / f"spans-{pid}.jsonl",
+                          "a") as handle:
+                    handle.write(lines)
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------- primary side
+    def _read_spool_metrics(self) -> List[Dict[str, Dict]]:
+        snapshots: List[Dict[str, Dict]] = []
+        own = f"metrics-{os.getpid()}.json"
+        try:
+            paths = sorted(self.spool_dir.glob("metrics-*.json"))
+        except OSError:
+            return snapshots
+        for path in paths:
+            if path.name == own:
+                continue  # never double-count the primary's registry
+            try:
+                plain = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # mid-replace or torn file: next poll gets it
+            if isinstance(plain, dict):
+                snapshots.append(plain)
+        return snapshots
+
+    def _drain_spool_spans(self) -> None:
+        """Ingest workers' spooled spans into our sink (offset-tracked,
+        whole lines only — a worker may be mid-append)."""
+        try:
+            paths = sorted(self.spool_dir.glob("spans-*.jsonl"))
+        except OSError:
+            return
+        for path in paths:
+            offset = self._span_offsets.get(path.name, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    blob = handle.read()
+            except OSError:
+                continue
+            if not blob:
+                continue
+            complete = blob.rfind(b"\n") + 1
+            if complete <= 0:
+                continue
+            self._span_offsets[path.name] = offset + complete
+            for span in spans_from_jsonl(
+                    blob[:complete].decode("utf-8", "replace")):
+                self.spans.record(span)
+
+
+# ----------------------------------------------------------------- lifecycle
+def install(telemetry: Optional[Telemetry] = None, *,
+            spool_dir=None) -> Telemetry:
+    """Install ``telemetry`` (or a fresh one) as this process's sink."""
+    global ACTIVE
+    if telemetry is None:
+        telemetry = Telemetry(spool_dir=spool_dir)
+    ACTIVE = telemetry
+    return telemetry
+
+
+def clear() -> None:
+    """Deactivate telemetry in this process."""
+    global ACTIVE, _ENV_CHECKED_PID
+    ACTIVE = None
+    _ENV_CHECKED_PID = None
+
+
+def export_to_environment(telemetry: Telemetry) -> None:
+    """Publish the spool directory for worker processes created later."""
+    if telemetry.spool_dir is None:
+        raise ValueError("cannot export telemetry without a spool "
+                         "directory: workers would have nowhere to "
+                         "publish their metrics")
+    os.environ[SPOOL_ENV_VAR] = str(telemetry.spool_dir)
+
+
+def clear_environment() -> None:
+    os.environ.pop(SPOOL_ENV_VAR, None)
+
+
+def ensure_process_telemetry() -> None:
+    """Install the environment-exported telemetry in this process, once.
+
+    Called from the pool worker entry point (next to
+    :func:`repro.chaos.ensure_process_plan`); cached per pid so the check
+    costs one comparison per job in the steady state.  A forked worker
+    inherits the parent's module state — including the parent's *live*
+    :data:`ACTIVE` — so anything whose ``owner_pid`` is not ours is
+    replaced: with a fresh spool-writing telemetry when the environment
+    names a spool, or with ``None`` (the inherited registry would be
+    invisible to the parent and its inherited counts double-reported).
+    """
+    global ACTIVE, _ENV_CHECKED_PID
+    pid = os.getpid()
+    if ACTIVE is not None and ACTIVE.owner_pid == pid:
+        return
+    if _ENV_CHECKED_PID == pid:
+        return
+    _ENV_CHECKED_PID = pid
+    spool = os.environ.get(SPOOL_ENV_VAR)
+    if spool:
+        ACTIVE = Telemetry(spool_dir=spool, primary=False)
+    else:
+        ACTIVE = None
+
+
+def flush_worker_telemetry() -> None:
+    """Publish a worker's telemetry to the spool (no-op for the primary,
+    whose registry is read directly at collect time)."""
+    telemetry = ACTIVE
+    if telemetry is not None and not telemetry.primary:
+        telemetry.flush_to_spool()
+
+
+@contextmanager
+def active_telemetry(spool_dir=None, export: bool = False,
+                     span_capacity: int = DEFAULT_SPAN_CAPACITY):
+    """Context manager: install a fresh :class:`Telemetry`, optionally
+    exporting a spool directory to worker processes, restoring previous
+    state on exit.  With ``export=True`` and no ``spool_dir``, a
+    temporary spool is created and removed on exit."""
+    global ACTIVE
+    previous = ACTIVE
+    previous_env = os.environ.get(SPOOL_ENV_VAR)
+    created = None
+    if export and spool_dir is None:
+        created = tempfile.mkdtemp(prefix="warp-obs-")
+        spool_dir = created
+    telemetry = install(Telemetry(spool_dir=spool_dir,
+                                  span_capacity=span_capacity))
+    if export:
+        export_to_environment(telemetry)
+    try:
+        yield telemetry
+    finally:
+        ACTIVE = previous
+        if export:
+            if previous_env is None:
+                clear_environment()
+            else:
+                os.environ[SPOOL_ENV_VAR] = previous_env
+        if created is not None:
+            shutil.rmtree(created, ignore_errors=True)
+
+
+def add_collector(collector: Callable[[MetricsRegistry], None]) -> None:
+    """Register a snapshot-time collector (idempotent by identity)."""
+    if collector not in _COLLECTORS:
+        _COLLECTORS.append(collector)
+
+
+def remove_collector(collector: Callable[[MetricsRegistry], None]) -> None:
+    try:
+        _COLLECTORS.remove(collector)
+    except ValueError:
+        pass
+
+
+# ----------------------------------------------------------- metric helpers
+# Convenience wrappers over ``ACTIVE.registry``; call sites still gate on
+# ``obs.ACTIVE is not None`` themselves so the disabled path never enters
+# a function — these re-check only to stay safe against races.
+def inc(name: str, value: float = 1.0, help_text: str = "",
+        **labels) -> None:
+    telemetry = ACTIVE
+    if telemetry is not None:
+        telemetry.registry.counter(name, help_text).inc(value, **labels)
+
+
+def set_gauge(name: str, value: float, help_text: str = "",
+              **labels) -> None:
+    telemetry = ACTIVE
+    if telemetry is not None:
+        telemetry.registry.gauge(name, help_text).set(value, **labels)
+
+
+def observe(name: str, value: float, help_text: str = "",
+            **labels) -> None:
+    telemetry = ACTIVE
+    if telemetry is not None:
+        telemetry.registry.histogram(name, help_text).observe(value,
+                                                              **labels)
+
+
+# -------------------------------------------------------------------- spans
+def _span_stack() -> List[Tuple[str, str]]:
+    stack = getattr(_CONTEXT, "stack", None)
+    if stack is None:
+        stack = []
+        _CONTEXT.stack = stack
+    return stack
+
+
+def current_trace() -> Optional[Tuple[str, str]]:
+    """The calling thread's ``(trace_id, span_id)`` context, if any."""
+    stack = getattr(_CONTEXT, "stack", None)
+    return stack[-1] if stack else None
+
+
+def _resolve_parent(trace_id: Optional[str],
+                    parent_id: Optional[str]) -> Tuple[str, Optional[str]]:
+    """Fill trace/parent from the thread's span stack: an explicit trace
+    id starts (or joins) that trace; otherwise nest under the current
+    span; otherwise start a fresh root trace."""
+    if trace_id is not None:
+        return trace_id, parent_id if parent_id is not None else trace_id
+    current = current_trace()
+    if current is not None:
+        return current[0], parent_id if parent_id is not None \
+            else current[1]
+    fresh = new_id()
+    return fresh, parent_id
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class SpanHandle:
+    """A live span: context manager that times its body, maintains the
+    thread's span stack (children nest automatically) and records into
+    the active sink on exit."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
+                 "_start_wall", "_start_perf")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], attrs: Dict[str, object]):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start_wall = 0.0
+        self._start_perf = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span runs."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "SpanHandle":
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        _span_stack().append((self.trace_id, self.span_id))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = _span_stack()
+        if stack and stack[-1] == (self.trace_id, self.span_id):
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        telemetry = ACTIVE
+        if telemetry is not None:
+            telemetry.spans.record(Span(
+                name=self.name, trace_id=self.trace_id,
+                span_id=self.span_id, parent_id=self.parent_id,
+                start_s=self._start_wall,
+                duration_s=time.perf_counter() - self._start_perf,
+                attrs=self.attrs))
+        return False
+
+
+def span(name: str, trace_id: Optional[str] = None,
+         parent_id: Optional[str] = None, **attrs):
+    """A live timed span (or the shared no-op when telemetry is off).
+
+    With no explicit ids the span nests under the calling thread's
+    current span; a ``trace_id`` without a ``parent_id`` parents to that
+    trace's root.
+    """
+    if ACTIVE is None:
+        return _NOOP_SPAN
+    trace, parent = _resolve_parent(trace_id, parent_id)
+    return SpanHandle(name, trace, new_id(), parent, dict(attrs))
+
+
+def record_span(name: str, duration_s: float,
+                start_s: Optional[float] = None,
+                trace_id: Optional[str] = None,
+                parent_id: Optional[str] = None,
+                span_id: Optional[str] = None, **attrs) -> Optional[str]:
+    """Record an already-measured span post hoc (for call sites that
+    keep their own clocks).  Returns the span id, or ``None`` when
+    telemetry is off."""
+    telemetry = ACTIVE
+    if telemetry is None:
+        return None
+    trace, parent = _resolve_parent(trace_id, parent_id)
+    identity = span_id if span_id is not None else new_id()
+    if identity == trace and parent_id is None:
+        parent = None  # a root span (span id == trace id) has no parent
+    if start_s is None:
+        start_s = time.time() - duration_s
+    telemetry.spans.record(Span(
+        name=name, trace_id=trace, span_id=identity, parent_id=parent,
+        start_s=start_s, duration_s=duration_s, attrs=dict(attrs)))
+    return identity
+
+
+def new_trace_id() -> str:
+    return new_id()
+
+
+__all__ = [
+    "ACTIVE",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "SPOOL_ENV_VAR",
+    "Span",
+    "SpanHandle",
+    "SpanSink",
+    "Telemetry",
+    "active_telemetry",
+    "add_collector",
+    "clear",
+    "clear_environment",
+    "current_trace",
+    "ensure_process_telemetry",
+    "export_to_environment",
+    "flush_worker_telemetry",
+    "inc",
+    "install",
+    "merge_snapshots",
+    "new_trace_id",
+    "observe",
+    "prometheus_text",
+    "record_span",
+    "remove_collector",
+    "set_gauge",
+    "span",
+]

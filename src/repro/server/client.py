@@ -202,6 +202,17 @@ class GatewayClient:
         """The gateway's CAD cache / store / queue statistics."""
         return self._round_trip({"verb": "cache-stats"})
 
+    def metrics(self, since: int = 0, include_spans: bool = True) -> Dict:
+        """The gateway's live telemetry snapshot.
+
+        The reply carries the aggregated metric families (gateway process
+        merged with its pool workers), queue occupancy, and — unless
+        ``include_spans`` is off — the trace spans recorded since the
+        ``since`` cursor, plus the ``cursor`` to poll from next time.
+        """
+        return self._round_trip({"verb": "metrics", "since": since,
+                                 "spans": include_spans})
+
     def shutdown(self) -> None:
         """Ask the gateway to stop (acknowledged before it goes down)."""
         self._round_trip({"verb": "shutdown"})
@@ -274,6 +285,11 @@ class AsyncGatewayClient:
 
     async def cache_stats(self) -> Dict:
         return await self._round_trip({"verb": "cache-stats"})
+
+    async def metrics(self, since: int = 0,
+                      include_spans: bool = True) -> Dict:
+        return await self._round_trip({"verb": "metrics", "since": since,
+                                       "spans": include_spans})
 
     async def shutdown(self) -> None:
         await self._round_trip({"verb": "shutdown"})

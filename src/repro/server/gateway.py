@@ -32,10 +32,14 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import shutil
+import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..service.jobs import JobSpecError, ServiceReport, WarpJob
 from ..service.pool import WarpService, configure_process_store
 from . import protocol
@@ -53,7 +57,7 @@ class _Batch:
     """One submitted batch: its jobs, state and (eventually) report."""
 
     __slots__ = ("batch_id", "jobs", "num_jobs", "state", "report", "error",
-                 "done")
+                 "done", "enqueued_monotonic")
 
     def __init__(self, batch_id: str, jobs: List[WarpJob]):
         self.batch_id = batch_id
@@ -63,6 +67,8 @@ class _Batch:
         self.report: Optional[ServiceReport] = None
         self.error: Optional[str] = None
         self.done = asyncio.Event()
+        #: When the batch was admitted (the queue-age gauge's clock).
+        self.enqueued_monotonic = time.monotonic()
 
 
 class WarpGateway:
@@ -73,7 +79,8 @@ class WarpGateway:
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
                  retained_batches: int = DEFAULT_RETAINED_BATCHES,
                  store_path=None,
-                 service: Optional[WarpService] = None):
+                 service: Optional[WarpService] = None,
+                 telemetry: bool = True):
         if queue_limit <= 0:
             raise ValueError("queue_limit must be positive")
         if retained_batches <= 0:
@@ -83,6 +90,18 @@ class WarpGateway:
         self.queue_limit = queue_limit
         self.retained_batches = retained_batches
         self.store_path = store_path
+        #: Telemetry plane: a gateway is observable out of the box — it
+        #: installs a process-wide spooled telemetry (the spool reaches
+        #: pool workers through the environment) unless the process
+        #: already has one (then it joins it and never tears it down) or
+        #: ``telemetry=False``.  The ``metrics`` verb serves it live.
+        self._owns_telemetry = False
+        self._telemetry_spool: Optional[str] = None
+        if telemetry and obs.ACTIVE is None:
+            self._telemetry_spool = tempfile.mkdtemp(prefix="warp-obs-")
+            obs.export_to_environment(
+                obs.install(spool_dir=self._telemetry_spool))
+            self._owns_telemetry = True
         if service is not None:
             self.service = service
         else:
@@ -152,6 +171,13 @@ class WarpGateway:
                 pass
         self._executor.shutdown(wait=True)
         self.service.close()
+        if self._owns_telemetry:
+            obs.clear()
+            obs.clear_environment()
+            self._owns_telemetry = False
+            if self._telemetry_spool is not None:
+                shutil.rmtree(self._telemetry_spool, ignore_errors=True)
+                self._telemetry_spool = None
 
     def run(self) -> None:
         """Blocking entry point: own loop, serve until shutdown."""
@@ -188,6 +214,7 @@ class WarpGateway:
                 self._pending_jobs -= len(batch.jobs)
                 batch.jobs = []          # results live in the report now
                 batch.done.set()
+                self._set_queue_gauges()
                 self._prune_finished()
                 if self._draining and self._pending_jobs == 0:
                     # Drain complete.  The grace sleep lets submit
@@ -258,12 +285,30 @@ class WarpGateway:
         self._batches[batch.batch_id] = batch
         self._pending_jobs += len(jobs)
         self._queue.put_nowait(batch)
+        self._set_queue_gauges()
         return batch
 
-    @staticmethod
-    def _batch_reply(batch: _Batch) -> Dict:
+    def _set_queue_gauges(self) -> None:
+        """Publish the admission queue's live state as gauge families
+        (queue depth, limit and the age of the oldest pending batch)."""
+        if obs.ACTIVE is None:
+            return
+        obs.set_gauge("warp_queue_depth", self._pending_jobs,
+                      "Jobs admitted and not yet finished")
+        obs.set_gauge("warp_queue_limit", self.queue_limit,
+                      "Admission limit (queued + running jobs)")
+        pending = [batch.enqueued_monotonic
+                   for batch in self._batches.values()
+                   if batch.state in ("queued", "running")]
+        age = (time.monotonic() - min(pending)) if pending else 0.0
+        obs.set_gauge("warp_queue_oldest_age_seconds", age,
+                      "Age of the oldest unfinished batch")
+
+    def _batch_reply(self, batch: _Batch) -> Dict:
         reply = {"ok": True, "batch_id": batch.batch_id,
-                 "state": batch.state, "num_jobs": batch.num_jobs}
+                 "state": batch.state, "num_jobs": batch.num_jobs,
+                 "queue_depth": self._pending_jobs,
+                 "queue_limit": self.queue_limit}
         if batch.state == "done":
             reply["report"] = batch.report.to_plain()
         elif batch.state == "failed":
@@ -320,6 +365,19 @@ class WarpGateway:
     async def _dispatch(self, request: Dict, writer) -> bool:
         """Handle one verb; returns True when the connection should end."""
         verb = request.get("verb")
+        if obs.ACTIVE is not None:
+            obs.inc("warp_gateway_requests_total", verb=str(verb))
+            start = time.perf_counter()
+            try:
+                return await self._dispatch_verb(verb, request, writer)
+            finally:
+                # A request span per verb; ``submit`` spans cover the
+                # whole wait for the batch report, by design.
+                obs.record_span(f"gateway:{verb}",
+                                time.perf_counter() - start)
+        return await self._dispatch_verb(verb, request, writer)
+
+    async def _dispatch_verb(self, verb, request: Dict, writer) -> bool:
         if verb == "submit":
             await self._verb_submit(request, writer)
         elif verb == "status":
@@ -328,6 +386,8 @@ class WarpGateway:
             await self._verb_stream(request, writer)
         elif verb == "cache-stats":
             await self._verb_cache_stats(writer)
+        elif verb == "metrics":
+            await self._verb_metrics(request, writer)
         elif verb == "shutdown":
             # Graceful drain: admitted batches finish (their submitters
             # get real reports), new submissions are rejected with the
@@ -416,6 +476,47 @@ class WarpGateway:
             "mode": batch.report.mode,
             "workers": batch.report.workers,
         })
+
+    async def _verb_metrics(self, request: Dict, writer) -> None:
+        """The live telemetry snapshot: aggregated metric families (this
+        process merged with the worker spool) plus the trace spans
+        recorded since the request's ``since`` cursor.
+
+        Additive reply keys on an additive verb — decoders use ``.get()``,
+        so per protocol.py's documented discipline this is NOT a protocol
+        version bump.  ``"spans": false`` skips span payloads for pure
+        metric scrapers; the returned ``cursor`` feeds the next poll's
+        ``since`` so a poller never re-reads spans it has seen.
+        """
+        reply = {
+            "ok": True,
+            "enabled": obs.ACTIVE is not None,
+            "metrics": {},
+            "spans": [],
+            "cursor": 0,
+            "queue_depth": self._pending_jobs,
+            "queue_limit": self.queue_limit,
+            "draining": self._draining,
+            "mode": self.service.mode,
+            "workers": self.service.workers,
+        }
+        telemetry = obs.ACTIVE
+        if telemetry is not None:
+            self._set_queue_gauges()
+            # collect() also drains spooled worker spans into the sink,
+            # so it must run before the cursor read below.
+            reply["metrics"] = telemetry.collect()
+            try:
+                since = int(request.get("since", 0) or 0)
+            except (TypeError, ValueError):
+                since = 0
+            if request.get("spans", True):
+                cursor, spans = telemetry.spans.since(since)
+                reply["cursor"] = cursor
+                reply["spans"] = [span.to_plain() for span in spans]
+            else:
+                reply["cursor"] = telemetry.spans.cursor
+        await protocol.write_frame(writer, reply)
 
     async def _verb_cache_stats(self, writer) -> None:
         cache = self.service.artifact_cache

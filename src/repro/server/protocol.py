@@ -27,7 +27,9 @@ JSON parse error three verbs later.
 Verbs (the request's ``"verb"`` field): ``submit`` (a batch of jobs;
 ``wait`` for the report, or get a ``batch_id`` back), ``status``,
 ``stream-results`` (one frame per result, then a ``done`` frame),
-``cache-stats``, ``shutdown``.  Error replies are
+``cache-stats``, ``metrics`` (the live telemetry snapshot: aggregated
+metric families plus trace spans since a ``since`` cursor; pass
+``"spans": false`` to skip span payloads), ``shutdown``.  Error replies are
 ``{"ok": false, "error": <kind>, "message": ...}``; the admission-control
 rejection additionally carries ``"code": 429`` and the queue occupancy so
 clients can implement typed backpressure handling
@@ -316,6 +318,7 @@ def job_to_plain(job: WarpJob) -> Dict[str, Any]:
         "priority": job.priority,
         "stages": list(job.stages) if job.stages is not None else None,
         "timeout_s": job.timeout_s,
+        "trace_id": job.trace_id,
     }
 
 
@@ -343,6 +346,7 @@ def job_from_plain(plain: Dict[str, Any]) -> WarpJob:
         priority=plain.get("priority", 0),
         stages=tuple(stages) if stages is not None else None,
         timeout_s=plain.get("timeout_s"),
+        trace_id=plain.get("trace_id"),
     )
 
 

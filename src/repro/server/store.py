@@ -50,7 +50,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from .. import chaos
+from .. import chaos, obs
 
 try:  # POSIX: real cross-process locking.
     import fcntl
@@ -245,6 +245,24 @@ class DiskArtifactStore:
         raise :class:`DiskStoreSchemaError`: the build and the store
         disagree, and recomputing would silently discard a warm store.
         """
+        if obs.ACTIVE is None:
+            return self._stage_get(stage, key)
+        start = time.perf_counter()
+        hits_before = self.hits
+        corrupt_before = self.corrupt_entries
+        try:
+            return self._stage_get(stage, key)
+        finally:
+            # Nests under the caller's open span (the CAD stage that
+            # missed in memory), joining the job's trace.
+            outcome = "hit" if self.hits > hits_before else \
+                ("corrupt" if self.corrupt_entries > corrupt_before
+                 else "miss")
+            obs.record_span("store-load",
+                            time.perf_counter() - start,
+                            stage=stage, outcome=outcome)
+
+    def _stage_get(self, stage: str, key: str) -> Optional[object]:
         path = self._entry_path(stage, key)
         try:
             blob = path.read_bytes()
@@ -293,6 +311,16 @@ class DiskArtifactStore:
         """Publish one stage entry atomically, then enforce the size bound
         (the full-directory eviction scan runs only when the running size
         estimate crosses ``max_bytes``, not on every write)."""
+        if obs.ACTIVE is None:
+            return self._stage_put(stage, key, value)
+        start = time.perf_counter()
+        try:
+            return self._stage_put(stage, key, value)
+        finally:
+            obs.record_span("store-publish",
+                            time.perf_counter() - start, stage=stage)
+
+    def _stage_put(self, stage: str, key: str, value: object) -> None:
         blob = self._encode(value)
         with self._locked():
             self._publish(self._entry_path(stage, key), blob)

@@ -24,13 +24,22 @@ CAD artifacts across restarts), ::
     repro-warp submit examples/service_jobs.json --gateway HOST:PORT
                       [--no-wait] [--out report.json]
 
-submits a job file to a running gateway, and ::
+submits a job file to a running gateway, ::
 
     repro-warp remote-suite --gateways H:P[,H:P...] [suite flags]
 
 runs the built-in sweep through remote gateways via the
 :class:`~repro.server.client.RemoteWorkerBackend` (one local relay shard
-per gateway, content-affinity routed).
+per gateway, content-affinity routed), and the observability verbs ::
+
+    repro-warp metrics --gateway HOST:PORT [--prom] [--spans] [--out F]
+    repro-warp top     --gateway HOST:PORT [--interval S] [--iterations N]
+
+scrape a running gateway's live telemetry (``--prom`` renders the
+Prometheus text exposition) and poll it into a terminal dashboard of
+queue depth, shard occupancy, per-stage hit rates and retry/timeout
+counters.  Local runs accept ``--trace-out spans.jsonl`` to record and
+export the run's trace spans.
 
 Job files are JSON::
 
@@ -106,6 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "exercise the recovery policies — the report "
                               "stays identical to a fault-free run, only "
                               "slower")
+        sub.add_argument("--trace-out", type=Path, default=None,
+                         help="record telemetry during the run and export "
+                              "its trace spans (scheduler→shard→stage→"
+                              "store timelines) as JSONL here")
         output(sub)
 
     def sweep_flags(sub: argparse.ArgumentParser) -> None:
@@ -157,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", type=Path, default=None,
                        help="persistent CAD artifact store directory (the "
                             "gateway starts warm after a restart)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the telemetry plane (the metrics verb "
+                            "answers with enabled=false; zero per-job "
+                            "overhead)")
 
     submit = subparsers.add_parser(
         "submit", help="submit a JSON job file to a running gateway")
@@ -178,6 +195,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated gateway addresses host:port")
     sweep_flags(remote)
     output(remote)
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics", help="scrape a running gateway's live telemetry "
+                        "snapshot (metric families + trace spans)")
+    metrics_cmd.add_argument("--gateway", default="127.0.0.1:7877",
+                             help="gateway address host:port")
+    metrics_cmd.add_argument("--prom", action="store_true",
+                             help="render the Prometheus text exposition "
+                                  "instead of JSON")
+    metrics_cmd.add_argument("--spans", action="store_true",
+                             help="include the trace spans in the JSON "
+                                  "output")
+    metrics_cmd.add_argument("--out", type=Path, default=None,
+                             help="write the output here instead of stdout")
+
+    top = subparsers.add_parser(
+        "top", help="poll a gateway's telemetry into a live terminal view "
+                    "(queue depth, shard occupancy, stage hit rates, "
+                    "retries/timeouts)")
+    top.add_argument("--gateway", default="127.0.0.1:7877",
+                     help="gateway address host:port")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default 2)")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N polls (0 = run until Ctrl-C)")
     return parser
 
 
@@ -312,12 +354,14 @@ def _cmd_serve(args) -> int:
     gateway = WarpGateway(host=args.host, port=args.port,
                           workers=args.workers, policy=args.policy,
                           queue_limit=args.queue_limit,
-                          store_path=args.store)
+                          store_path=args.store,
+                          telemetry=not args.no_telemetry)
     thread = start_gateway_thread(gateway)
     print(f"repro-warp gateway listening on {gateway.address} "
           f"[{gateway.service.mode}, workers={gateway.service.workers}, "
           f"queue limit {gateway.queue_limit} jobs"
           + (f", store {args.store}" if args.store else "")
+          + (", telemetry off" if args.no_telemetry else "")
           + "]; stop with the shutdown verb or Ctrl-C", flush=True)
     try:
         thread.join()
@@ -360,6 +404,138 @@ def _cmd_submit(args) -> int:
     return _emit_reports([report], args)
 
 
+def _cmd_metrics(args) -> int:
+    from .. import obs
+    from ..server import client as server_client
+    from ..server.protocol import HandshakeError, ProtocolError, RemoteError
+
+    try:
+        with server_client.GatewayClient(args.gateway) as client:
+            reply = client.metrics(include_spans=args.spans or not args.prom)
+    except (HandshakeError, ProtocolError, RemoteError,
+            ConnectionError, OSError) as error:
+        print(f"repro-warp: gateway {args.gateway}: {error}",
+              file=sys.stderr)
+        return 3
+    if args.prom:
+        text = obs.prometheus_text(reply.get("metrics") or {})
+    else:
+        payload = {key: reply.get(key)
+                   for key in ("enabled", "queue_depth", "queue_limit",
+                               "draining", "mode", "workers", "cursor",
+                               "metrics")}
+        if args.spans:
+            payload["spans"] = reply.get("spans", [])
+        text = json.dumps(payload, indent=2) + "\n"
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"metrics written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------- repro-warp top
+#: Stage-lookup sources that count as cache-served in the top view
+#: (mirrors the report's stage hit accounting).
+_TOP_HIT_SOURCES = ("hit", "bundle", "negative-hit", "disk-hit")
+
+
+def _samples(metrics: Dict, family: str) -> List[Dict]:
+    return (metrics.get(family) or {}).get("samples", [])
+
+
+def _render_top(reply: Dict, new_spans: int) -> str:
+    """One ``repro-warp top`` frame from a ``metrics`` reply."""
+    metrics = reply.get("metrics") or {}
+    lines = [
+        f"repro-warp top — mode={reply.get('mode')} "
+        f"workers={reply.get('workers')}"
+        + (" [DRAINING]" if reply.get("draining") else ""),
+        f"queue: {reply.get('queue_depth')}/{reply.get('queue_limit')} jobs",
+    ]
+    for sample in _samples(metrics, "warp_queue_oldest_age_seconds"):
+        if sample["value"] > 0:
+            lines[-1] += f"  (oldest batch {sample['value']:.1f}s)"
+    jobs: Dict[str, int] = {}
+    for sample in _samples(metrics, "warp_jobs_total"):
+        status = sample["labels"].get("status", "?")
+        jobs[status] = jobs.get(status, 0) + int(sample["value"])
+    if jobs:
+        lines.append("jobs: " + "  ".join(f"{status}={count}" for
+                                          status, count in sorted(jobs.items())))
+    shards = _samples(metrics, "warp_shard_jobs_total")
+    if shards:
+        occupancy = "  ".join(
+            f"shard {sample['labels'].get('shard')}:"
+            f"{int(sample['value'])}" for sample in shards)
+        lines.append(f"shard jobs: {occupancy}")
+    stages: Dict[str, Dict[str, int]] = {}
+    for sample in _samples(metrics, "warp_stage_lookups_total"):
+        stage = sample["labels"].get("stage", "?")
+        source = sample["labels"].get("source", "?")
+        if source not in _TOP_HIT_SOURCES and source != "miss":
+            continue  # uncached stages have no hit rate to show
+        bucket = stages.setdefault(stage, {"hits": 0, "misses": 0})
+        if source in _TOP_HIT_SOURCES:
+            bucket["hits"] += int(sample["value"])
+        else:
+            bucket["misses"] += int(sample["value"])
+    if stages:
+        lines.append("stage hit rates:")
+        for stage, bucket in stages.items():
+            lookups = bucket["hits"] + bucket["misses"]
+            rate = bucket["hits"] / lookups if lookups else 0.0
+            lines.append(f"  {stage:<16s} {bucket['hits']:>5d} hits "
+                         f"{bucket['misses']:>5d} misses  "
+                         f"{100 * rate:5.1f}%")
+    retries = {sample["labels"].get("site", "?"): int(sample["value"])
+               for sample in _samples(metrics, "warp_retries_total")}
+    timeouts = sum(int(sample["value"])
+                   for sample in _samples(metrics, "warp_timeouts_total"))
+    if retries or timeouts:
+        parts = [f"{site}={count}" for site, count in sorted(retries.items())]
+        lines.append(f"retries: {'  '.join(parts) if parts else 'none'}"
+                     f"  timeouts: {timeouts}")
+    lines.append(f"trace spans since last poll: {new_spans}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from ..server import client as server_client
+    from ..server.protocol import HandshakeError, ProtocolError, RemoteError
+
+    cursor = 0
+    polls = 0
+    try:
+        with server_client.GatewayClient(args.gateway) as client:
+            while True:
+                reply = client.metrics(since=cursor)
+                new_spans = len(reply.get("spans", []))
+                cursor = reply.get("cursor", cursor)
+                if not reply.get("enabled", False):
+                    print("gateway telemetry is disabled "
+                          "(started with --no-telemetry)")
+                    return 0
+                if sys.stdout.isatty():  # pragma: no cover - interactive
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                sys.stdout.write(_render_top(reply, new_spans))
+                sys.stdout.flush()
+                polls += 1
+                if args.iterations and polls >= args.iterations:
+                    return 0
+                _time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    except (HandshakeError, ProtocolError, RemoteError,
+            ConnectionError, OSError) as error:
+        print(f"repro-warp: gateway {args.gateway}: {error}",
+              file=sys.stderr)
+        return 3
+
+
 def _cmd_remote_suite(args, jobs: List[WarpJob]) -> int:
     from ..server.client import RemoteWorkerBackend
 
@@ -389,6 +565,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "remote-suite":
             return _cmd_remote_suite(args, _sweep_jobs_from_args(args))
         if args.command == "suite":
@@ -414,12 +594,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # fault-free run, so this is a live drill, not a demo mode.
             stack.enter_context(chaos.active_plan(
                 chaos.standard_plan(args.chaos_seed), export=True))
+        telemetry = None
+        if getattr(args, "trace_out", None) is not None:
+            from .. import obs
+            # export=True ships the spool directory to pool workers so
+            # their spans fold into the exported timeline.
+            telemetry = stack.enter_context(
+                obs.active_telemetry(export=True))
         service = stack.enter_context(
             WarpService(workers=args.workers, policy=args.policy,
                         artifact_cache=artifact_cache))
         reports: List[ServiceReport] = []
         for _ in range(repeats):
             reports.append(service.run(jobs))
+        if telemetry is not None:
+            telemetry.collect()  # drain worker span spool before export
+            telemetry.spans.export_jsonl(args.trace_out)
+            print(f"trace spans written to {args.trace_out}",
+                  file=sys.stderr)
     return _emit_reports(reports, args)
 
 

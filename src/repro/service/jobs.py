@@ -49,6 +49,22 @@ STAGE_METRIC_ORDER = ("wall ms", "hits", "misses", "hit rate")
 #: served by the persistent store tier — also tallied separately).
 _STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE, SOURCE_DISK)
 
+#: The single mapping from report metric names (``"<block>.<key>"``) to the
+#: :class:`ServiceResult` field carrying the per-job count.  Report
+#: aggregation, the ``cache``/``resilience`` blocks of
+#: :meth:`ServiceReport.to_plain` and :meth:`ServiceReport.summary` all
+#: derive from this dict — adding a counter here is the *only* edit needed
+#: for it to appear everywhere (and the live ``metrics`` snapshot must
+#: carry it too; see ROADMAP invariants).
+RESULT_METRIC_FIELDS: Dict[str, str] = {
+    "cache.hits": "cache_hits",
+    "cache.misses": "cache_misses",
+    "cache.negative_hits": "cache_negative_hits",
+    "cache.disk_hits": "cache_disk_hits",
+    "resilience.retries": "retries",
+    "resilience.timeouts": "timeouts",
+}
+
 
 class JobSpecError(ValueError):
     """Raised for malformed job specifications (CLI job files included)."""
@@ -86,6 +102,12 @@ class WarpJob:
     #: ``name``/``priority`` this is scheduling metadata, not content —
     #: it does not participate in :meth:`dedup_key`.
     timeout_s: Optional[float] = None
+    #: Telemetry identity: assigned by the service when a telemetry sink
+    #: is active (see :mod:`repro.obs`), carried through the wire codec
+    #: and into the worker process so every span of this job's execution
+    #: joins one trace.  Observability metadata, not content — it does not
+    #: participate in :meth:`dedup_key`.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.benchmark is None) == (self.source is None):
@@ -101,6 +123,11 @@ class WarpJob:
                     f"job {self.name!r}: 'timeout_s' must be a positive "
                     f"number of seconds, not {self.timeout_s!r}"
                 )
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise JobSpecError(
+                f"job {self.name!r}: 'trace_id' must be a string, not "
+                f"{self.trace_id!r}"
+            )
         if self.engine is not None:
             # Validate against the engine registry at submission time, so
             # a typo fails with one clear error naming the registered
@@ -196,8 +223,19 @@ class ServiceResult:
     #: re-run after a neighbour hung its shard).
     retries: int = 0
     timeouts: int = 0
+    #: The trace id of the execution that produced this result (``None``
+    #: when no telemetry sink was active).  Random per run — excluded
+    #: from :attr:`CANONICAL_FIELDS` so differential comparisons hold.
+    trace_id: Optional[str] = None
 
     # ----------------------------------------------------------------- metrics
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """This result's counters keyed by report metric name — the one
+        projection everything downstream aggregates (see
+        :data:`RESULT_METRIC_FIELDS`)."""
+        return {metric: getattr(self, field_name)
+                for metric, field_name in RESULT_METRIC_FIELDS.items()}
+
     def speedups(self) -> Dict[str, float]:
         return {"MicroBlaze": 1.0, "MicroBlaze (Warp)": self.speedup}
 
@@ -255,39 +293,62 @@ class ServiceReport:
     def num_failed(self) -> int:
         return sum(1 for result in self.results if not result.ok)
 
+    def metrics_totals(self) -> Dict[str, int]:
+        """Batch-wide counter totals keyed by report metric name.
+
+        The one aggregation over :data:`RESULT_METRIC_FIELDS` that the
+        cache/resilience properties, :meth:`summary` and the
+        ``cache``/``resilience`` blocks of :meth:`to_plain` all read —
+        a new counter lands everywhere by extending the mapping.
+        """
+        totals = dict.fromkeys(RESULT_METRIC_FIELDS, 0)
+        for result in self.results:
+            for metric, value in result.metrics_snapshot().items():
+                totals[metric] += value
+        return totals
+
+    def metrics_block(self, prefix: str) -> Dict[str, int]:
+        """One report block (``"cache"``/``"resilience"``) of
+        :meth:`metrics_totals`, keys stripped of the prefix."""
+        marker = prefix + "."
+        return {metric[len(marker):]: value
+                for metric, value in self.metrics_totals().items()
+                if metric.startswith(marker)}
+
     @property
     def cache_hits(self) -> int:
-        return sum(result.cache_hits for result in self.results)
+        return self.metrics_totals()["cache.hits"]
 
     @property
     def cache_misses(self) -> int:
-        return sum(result.cache_misses for result in self.results)
+        return self.metrics_totals()["cache.misses"]
 
     @property
     def cache_hit_rate(self) -> float:
-        lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
+        totals = self.metrics_totals()
+        lookups = totals["cache.hits"] + totals["cache.misses"]
+        return totals["cache.hits"] / lookups if lookups else 0.0
 
     @property
     def cache_negative_hits(self) -> int:
         """Memoized capacity rejections served across the batch."""
-        return sum(result.cache_negative_hits for result in self.results)
+        return self.metrics_totals()["cache.negative_hits"]
 
     @property
     def cache_disk_hits(self) -> int:
         """Stage lookups served by the persistent disk store tier."""
-        return sum(result.cache_disk_hits for result in self.results)
+        return self.metrics_totals()["cache.disk_hits"]
 
     @property
     def total_retries(self) -> int:
         """Retries absorbed across the batch (transient faults, crashed
         or hung neighbours, remote resubmissions)."""
-        return sum(result.retries for result in self.results)
+        return self.metrics_totals()["resilience.retries"]
 
     @property
     def total_timeouts(self) -> int:
         """Watchdog timeouts across the batch."""
-        return sum(result.timeouts for result in self.results)
+        return self.metrics_totals()["resilience.timeouts"]
 
     def succeeded(self) -> List[ServiceResult]:
         return [result for result in self.results if result.ok]
@@ -390,23 +451,16 @@ class ServiceReport:
 
     # ------------------------------------------------------------------- JSON
     def to_plain(self) -> Dict:
+        cache = dict(self.metrics_block("cache"))
+        cache["hit_rate"] = round(self.cache_hit_rate, 4)
         return {
             "mode": self.mode,
             "workers": self.workers,
             "wall_seconds": round(self.wall_seconds, 4),
             "num_jobs": self.num_jobs,
             "num_failed": self.num_failed,
-            "cache": {
-                "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "hit_rate": round(self.cache_hit_rate, 4),
-                "negative_hits": self.cache_negative_hits,
-                "disk_hits": self.cache_disk_hits,
-            },
-            "resilience": {
-                "retries": self.total_retries,
-                "timeouts": self.total_timeouts,
-            },
+            "cache": cache,
+            "resilience": self.metrics_block("resilience"),
             "stages": {
                 stage: {
                     "wall_ms": round(metrics["wall ms"], 4),

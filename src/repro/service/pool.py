@@ -41,11 +41,12 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import replace
 from pathlib import Path
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .. import chaos
+from .. import chaos, obs
 from ..cad import SOURCE_DISK, SOURCE_NEGATIVE
 from ..compiler import compile_source_cached
 from ..digest import shard_index
@@ -130,24 +131,42 @@ def execute_job(job: WarpJob,
     on the final result.  Everything else fails the job immediately.
     """
     chaos.ensure_process_plan()
+    obs.ensure_process_telemetry()
     start = time.perf_counter()
     retries = 0
-    while True:
-        try:
-            if chaos.ACTIVE_PLAN is not None:
-                chaos.fire(chaos.SITE_WORKER_JOB, label=job.name)
-            result = _execute_attempt(job, artifact_cache)
-        except chaos.ChaosError as error:
-            if retries >= JOB_TRANSIENT_RETRIES:
-                result = _failed_result(
-                    job, f"{type(error).__name__}: {error}")
-                break
-            retries += 1
-            continue
-        break
+    # The execute span joins the trace the submitting service assigned to
+    # the job (parenting to its root); without one it becomes its own
+    # root, so directly-invoked jobs still trace.
+    with obs.span("execute", trace_id=job.trace_id,
+                  job=job.name) as execute_span:
+        while True:
+            try:
+                if chaos.ACTIVE_PLAN is not None:
+                    chaos.fire(chaos.SITE_WORKER_JOB, label=job.name)
+                result = _execute_attempt(job, artifact_cache)
+            except chaos.ChaosError as error:
+                if retries >= JOB_TRANSIENT_RETRIES:
+                    result = _failed_result(
+                        job, f"{type(error).__name__}: {error}")
+                    break
+                retries += 1
+                if obs.ACTIVE is not None:
+                    obs.inc("warp_retries_total", site="worker-transient")
+                continue
+            break
+        if execute_span is not None:
+            execute_span.set(status="ok" if result.ok else "failed",
+                             retries=retries)
     result.retries += retries
     result.worker_pid = os.getpid()
     result.wall_seconds = time.perf_counter() - start
+    result.trace_id = job.trace_id
+    if obs.ACTIVE is not None:
+        obs.inc("warp_jobs_total", engine=result.engine,
+                status="ok" if result.ok else "failed")
+        obs.observe("warp_job_wall_seconds", result.wall_seconds,
+                    engine=result.engine)
+        obs.flush_worker_telemetry()
     return result
 
 
@@ -207,6 +226,12 @@ def _execute_attempt(job: WarpJob,
         result.cache_disk_hits = sum(
             1 for record in outcome.stage_records
             if record.source == SOURCE_DISK)
+        if obs.ACTIVE is not None:
+            software = warp.software_result
+            obs.inc("warp_engine_instructions_total",
+                    float(software.instructions), engine=result.engine)
+            obs.inc("warp_engine_cycles_total", float(software.cycles),
+                    engine=result.engine)
 
         mb_energy = microblaze_energy(warp.software_seconds,
                                       job.config.clock_mhz)
@@ -238,6 +263,54 @@ def _execute_attempt(job: WarpJob,
 def _worker_entry(job: WarpJob) -> ServiceResult:
     """Module-level pool entry point (must be picklable by reference)."""
     return execute_job(job)
+
+
+def _collect_cache_metrics(registry) -> None:
+    """Snapshot-time collector: republish this process's cache tiers'
+    bespoke counters as live metric families.
+
+    Cumulative totals *set* (not incremented) at snapshot time, so they
+    are gauges; each process publishes its own totals and the spool
+    merge sums them to the fleet value.  Registered at import — it only
+    runs when a telemetry snapshot is taken.
+    """
+    cache = _PROCESS_CACHE
+    if cache is not None:
+        events = registry.gauge(
+            "warp_cache_events",
+            "CAD artifact cache events by kind (cumulative)")
+        events.set(cache.hits, kind="bundle-hit")
+        events.set(cache.misses, kind="bundle-miss")
+        events.set(cache.negative_hits, kind="negative-hit")
+        events.set(cache.disk_hits, kind="disk-hit")
+        events.set(cache.store_put_errors, kind="store-put-error")
+        stage_family = registry.gauge(
+            "warp_cache_stage_lookups",
+            "Per-stage CAD cache lookups by result (cumulative)")
+        for stage, (hits, misses) in cache.stage_counters().items():
+            stage_family.set(hits, stage=stage, result="hit")
+            stage_family.set(misses, stage=stage, result="miss")
+        for stage, disk in cache.stage_disk_hits().items():
+            stage_family.set(disk, stage=stage, result="disk-hit")
+        store = cache.disk_store
+        if store is not None:
+            store_family = registry.gauge(
+                "warp_store_events",
+                "Persistent artifact store events by kind (cumulative)")
+            for kind, value in store.stats().items():
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    store_family.set(value, kind=kind)
+    from ..compiler import compile_cache_stats
+    compile_family = registry.gauge(
+        "warp_compile_cache_events",
+        "Compilation memo cache events by kind (cumulative)")
+    for kind, value in compile_cache_stats().items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            compile_family.set(value, kind=kind)
+
+
+obs.add_collector(_collect_cache_metrics)
 
 
 def _failed_result(job: WarpJob, message: str) -> ServiceResult:
@@ -380,6 +453,20 @@ class WarpService:
         scheduler.add_many(jobs)
         plan = scheduler.plan()
 
+        if obs.ACTIVE is not None:
+            # Assign every planned job a trace identity: the id rides the
+            # job into the worker process (and across the wire), so the
+            # worker-side execute/stage/store spans join the parent-side
+            # root/wait/dispatch spans in one reconstructable timeline.
+            for slot in plan:
+                if slot.job.trace_id is None:
+                    slot.job = replace(slot.job,
+                                       trace_id=obs.new_trace_id())
+            obs.set_gauge("warp_scheduler_planned_jobs", len(plan))
+            duplicates = sum(len(slot.duplicates) for slot in plan)
+            if duplicates:
+                obs.inc("warp_scheduler_deduped_total", float(duplicates))
+
         start = time.perf_counter()
         if self.workers >= 1:
             primary = self._run_pooled(plan)
@@ -387,12 +474,18 @@ class WarpService:
             # Custom backend, serial: every job goes through the backend
             # seam (a backend that raises is isolated to a failed result,
             # matching the in-process contract that jobs never raise).
-            primary = {slot.job.name: self._run_backend(slot.job)
+            primary = {slot.job.name:
+                       self._run_serial_slot(slot, start, self._run_backend)
                        for slot in plan}
         else:
-            primary = {slot.job.name: execute_job(slot.job, self.artifact_cache)
+            primary = {slot.job.name: self._run_serial_slot(
+                           slot, start,
+                           lambda job: execute_job(job, self.artifact_cache))
                        for slot in plan}
         wall = time.perf_counter() - start
+        if obs.ACTIVE is not None:
+            obs.inc("warp_batches_total", mode=self.mode)
+            obs.observe("warp_batch_wall_seconds", wall, mode=self.mode)
 
         by_name: Dict[str, ServiceResult] = {}
         for slot in plan:
@@ -402,14 +495,61 @@ class WarpService:
         return ServiceReport(results=ordered, wall_seconds=wall,
                              mode=self.mode, workers=self.workers)
 
+    def _run_serial_slot(self, slot: ScheduledJob, batch_start_perf: float,
+                         run: Callable[[WarpJob], ServiceResult]) -> ServiceResult:
+        """Execute one planned job on the serial path, recording its
+        scheduler-wait and root trace spans when telemetry is active."""
+        job = slot.job
+        if obs.ACTIVE is None:
+            return run(job)
+        wait_s = time.perf_counter() - batch_start_perf
+        obs.record_span("scheduler-wait", wait_s,
+                        start_s=time.time() - wait_s,
+                        trace_id=job.trace_id, parent_id=job.trace_id,
+                        policy=self.policy)
+        result = run(job)
+        total_s = time.perf_counter() - batch_start_perf
+        obs.record_span("job", total_s, start_s=time.time() - total_s,
+                        trace_id=job.trace_id, span_id=job.trace_id,
+                        job=job.name, mode="serial",
+                        status="ok" if result.ok else "failed")
+        return result
+
+    def _record_pooled_spans(self, slot: ScheduledJob, shard: int,
+                             submit_wall: float, submit_perf: float,
+                             result: ServiceResult) -> None:
+        """Parent-side spans for one collected pooled job: the root span,
+        the shard-dispatch span, and the scheduler wait (dispatch time not
+        spent executing — i.e. queueing behind shard neighbours)."""
+        job = slot.job
+        dispatch_s = time.perf_counter() - submit_perf
+        obs.record_span("job", dispatch_s, start_s=submit_wall,
+                        trace_id=job.trace_id, span_id=job.trace_id,
+                        job=job.name, mode="pool",
+                        status="ok" if result.ok else "failed")
+        obs.record_span("shard-dispatch", dispatch_s, start_s=submit_wall,
+                        trace_id=job.trace_id, parent_id=job.trace_id,
+                        shard=shard)
+        wait_s = max(0.0, dispatch_s - result.wall_seconds)
+        obs.record_span("scheduler-wait", wait_s, start_s=submit_wall,
+                        trace_id=job.trace_id, parent_id=job.trace_id,
+                        policy=self.policy)
+
     def _run_pooled(self, plan: List[ScheduledJob]) -> Dict[str, ServiceResult]:
+        telemetry = obs.ACTIVE is not None
         submissions = []
         submit_time = time.monotonic()
+        submit_perf = time.perf_counter()
+        submit_wall = time.time()
         for slot in plan:
             shard = self._shard_index(slot.job)
+            if telemetry:
+                obs.inc("warp_shard_jobs_total", shard=shard)
             submissions.append(
                 (slot, shard, self._shard(shard).submit(self._worker_fn,
                                                         slot.job)))
+        if telemetry:
+            obs.set_gauge("warp_shards_active", len(self._shards))
         results: Dict[str, ServiceResult] = {}
         broken: List[ScheduledJob] = []
         dead_shards = set()
@@ -430,16 +570,25 @@ class WarpService:
                 deadline = max(0.0, submit_time + slot.timeout_s
                                - time.monotonic())
             try:
-                results[slot.job.name] = future.result(timeout=deadline)
+                result = future.result(timeout=deadline)
+                results[slot.job.name] = result
+                if telemetry:
+                    self._record_pooled_spans(slot, shard, submit_wall,
+                                              submit_perf, result)
             except FuturesTimeoutError:
                 self._kill_shard(shard)
                 dead_shards.add(shard)
                 timed_out_shards.add(shard)
                 results[slot.job.name] = _timed_out_result(slot.job,
                                                            slot.timeout_s)
+                if telemetry:
+                    obs.inc("warp_timeouts_total")
+                    obs.inc("warp_worker_restarts_total", reason="timeout")
             except BrokenProcessPool:
                 broken.append(slot)
                 dead_shards.add(shard)
+                if telemetry:
+                    obs.inc("warp_worker_restarts_total", reason="crash")
             except Exception as error:  # noqa: BLE001 - submission-side fault
                 results[slot.job.name] = _backend_failed(slot.job, error)
         for shard in dead_shards - timed_out_shards:
@@ -455,6 +604,12 @@ class WarpService:
                                           timeout_s=slot.timeout_s)
             result.retries += 1
             results[slot.job.name] = result
+            if telemetry:
+                obs.inc("warp_retries_total", site="pool-crash")
+                self._record_pooled_spans(slot, self._shard_index(slot.job),
+                                          submit_wall, submit_perf, result)
+        if telemetry:
+            obs.set_gauge("warp_shards_active", len(self._shards))
         return results
 
     def _run_backend(self, job: WarpJob) -> ServiceResult:
