@@ -1,27 +1,30 @@
-"""Simulator throughput trajectory — interpreter vs threaded vs jit engines.
+"""Simulator throughput trajectory — interp vs threaded vs jit vs region.
 
 Measures, at full benchmark size:
 
 * **cold** simulated instructions per second over the six-application
   suite on the reference interpreter and the threaded-code engine (the
   PR-1 metric, kept for trajectory continuity: fresh system per run,
-  translation included);
-* **steady-state** throughput of both block engines — threaded and the
-  source-generating jit — with warm translation caches (one warm-up run,
-  then timed repeats through the same system).  This is the service's
-  operating model: worker processes keep systems and the jit's
-  process-wide code cache warm across jobs, so steady state is what
-  repeated sweeps actually pay;
+  translation included), plus the translation-cost breakdown of the two
+  source-generating engines (``codegen_stats()``: compiles, cache hits
+  and ``compile_seconds`` for jit and region separately);
+* **steady-state** throughput of the block engines — threaded, the
+  source-generating jit and the region-fusing engine — with warm
+  translation caches (one warm-up run, then timed repeats through the
+  same system).  This is the service's operating model: worker processes
+  keep systems and the process-wide code cache warm across jobs, so
+  steady state is what repeated sweeps actually pay;
 * the wall time of the full ``run_evaluation()`` pipeline (Figures 6 and
-  7) on all three engines, asserting the checksums along the way.
+  7) on all four engines, asserting the checksums along the way.
 
-Bit-exactness of both fast engines is asserted before any speed is
+Bit-exactness of the fast engines is asserted before any speed is
 compared.  Results are appended to ``BENCH_simulator.json`` at the
 repository root (the previous record is preserved under ``history``), and
 the acceptance floors — at least 5x cold throughput for the threaded
-engine (ISSUE 1) and at least 1.5x steady-state suite throughput of jit
-over threaded (ISSUE 5) — are asserted here so a regression cannot land
-silently.
+engine (ISSUE 1), at least 1.5x steady-state suite throughput of jit over
+threaded (ISSUE 5), and at least 1.8x steady-state suite throughput of
+region over jit (ISSUE 8) — are asserted here so a regression cannot
+land silently.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.apps import build_suite
 from repro.compiler import compile_source_cached
 from repro.eval import run_evaluation
 from repro.microblaze import PAPER_CONFIG, MicroBlazeSystem, run_program
+from repro.microblaze.engines.jit import codegen_stats, reset_codegen_stats
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
@@ -46,6 +50,10 @@ MIN_EVALUATION_SPEEDUP = 3.0
 #: Acceptance threshold of the source-generating jit engine (ISSUE 5):
 #: steady-state suite throughput over the threaded engine.
 MIN_JIT_OVER_THREADED = 1.5
+#: Acceptance threshold of the region-fusing engine (ISSUE 8):
+#: steady-state suite throughput over the jit engine.  Measured at
+#: 2.2x-2.3x on the reference container; the floor leaves noise headroom.
+MIN_REGION_OVER_JIT = 1.8
 
 #: Steady-state timed repeats per benchmark (after one warm-up run).
 #: The per-engine time is the *minimum* over the repeats, and the
@@ -126,16 +134,23 @@ def _measure_steady(programs, engines, repeats=STEADY_REPEATS):
 def test_simulator_throughput_and_evaluation_walltime():
     programs = _suite_programs()
 
+    reset_codegen_stats()
     interp_instr, interp_seconds, interp_results = \
         _measure_cold(programs, "interp")
     threaded_instr, threaded_seconds, threaded_results = \
         _measure_cold(programs, "threaded")
     jit_instr, jit_seconds, jit_results = _measure_cold(programs, "jit")
+    region_instr, region_seconds, region_results = \
+        _measure_cold(programs, "region")
+    # Translation-cost breakdown of the cold suite runs: the region
+    # engine pays block compiles (its cold dispatch) *plus* region
+    # fusion; both are reported per engine label.
+    codegen = codegen_stats()
 
     # The engines must agree bit-for-bit before their speeds are compared.
-    assert threaded_instr == interp_instr == jit_instr
+    assert threaded_instr == interp_instr == jit_instr == region_instr
     for name, _ in programs:
-        for results in (threaded_results, jit_results):
+        for results in (threaded_results, jit_results, region_results):
             assert results[name].stats == interp_results[name].stats, name
             assert results[name].return_value \
                 == interp_results[name].return_value, name
@@ -143,22 +158,26 @@ def test_simulator_throughput_and_evaluation_walltime():
     interp_ips = interp_instr / interp_seconds
     threaded_ips = threaded_instr / threaded_seconds
     jit_cold_ips = jit_instr / jit_seconds
+    region_cold_ips = region_instr / region_seconds
     throughput_speedup = threaded_ips / interp_ips
 
-    # Steady state: the jit engine's acceptance metric (warm translation
-    # caches, the service's operating model).
-    steady = _measure_steady(programs, ("threaded", "jit"))
+    # Steady state: the jit and region engines' acceptance metric (warm
+    # translation caches, the service's operating model).
+    steady = _measure_steady(programs, ("threaded", "jit", "region"))
     steady_threaded_instr, steady_threaded_seconds = steady["threaded"]
     steady_jit_instr, steady_jit_seconds = steady["jit"]
-    assert steady_threaded_instr == steady_jit_instr
+    steady_region_instr, steady_region_seconds = steady["region"]
+    assert steady_threaded_instr == steady_jit_instr == steady_region_instr
     steady_threaded_ips = steady_threaded_instr / steady_threaded_seconds
     steady_jit_ips = steady_jit_instr / steady_jit_seconds
+    steady_region_ips = steady_region_instr / steady_region_seconds
     jit_speedup = steady_jit_ips / steady_threaded_ips
+    region_speedup = steady_region_ips / steady_jit_ips
 
     # Evaluation pipeline wall time (compile cache warmed by all paths
     # equally via the shared compile_source_cached above).
     evaluation = {}
-    for engine in ("interp", "threaded", "jit"):
+    for engine in ("interp", "threaded", "jit", "region"):
         start = time.perf_counter()
         suite = run_evaluation(engine=engine)
         evaluation[engine] = time.perf_counter() - start
@@ -171,21 +190,36 @@ def test_simulator_throughput_and_evaluation_walltime():
             "interp_seconds": round(interp_seconds, 4),
             "threaded_seconds": round(threaded_seconds, 4),
             "jit_seconds": round(jit_seconds, 4),
+            "region_seconds": round(region_seconds, 4),
             "interp_kips": round(interp_ips / 1e3, 1),
             "threaded_kips": round(threaded_ips / 1e3, 1),
             "jit_kips": round(jit_cold_ips / 1e3, 1),
+            "region_kips": round(region_cold_ips / 1e3, 1),
             "throughput_speedup": round(throughput_speedup, 2),
+        },
+        "compile_seconds": {
+            engine: {
+                "compiles": int(bucket["compiles"]),
+                "cache_hits": int(bucket["cache_hits"]),
+                "compile_seconds": round(bucket["compile_seconds"], 4),
+                "regions": int(bucket["regions"]),
+                "region_blocks": int(bucket["region_blocks"]),
+            }
+            for engine, bucket in sorted(codegen.items())
         },
         "steady_state": {
             "repeats": STEADY_REPEATS,
             "threaded_kips": round(steady_threaded_ips / 1e3, 1),
             "jit_kips": round(steady_jit_ips / 1e3, 1),
+            "region_kips": round(steady_region_ips / 1e3, 1),
             "jit_over_threaded": round(jit_speedup, 2),
+            "region_over_jit": round(region_speedup, 2),
         },
         "evaluation": {
             "interp_seconds": round(evaluation["interp"], 4),
             "threaded_seconds": round(evaluation["threaded"], 4),
             "jit_seconds": round(evaluation["jit"], 4),
+            "region_seconds": round(evaluation["region"], 4),
             "speedup": round(evaluation_speedup, 2),
         },
         "per_benchmark": {
@@ -199,6 +233,7 @@ def test_simulator_throughput_and_evaluation_walltime():
             "throughput_speedup": MIN_THROUGHPUT_SPEEDUP,
             "evaluation_speedup": MIN_EVALUATION_SPEEDUP,
             "jit_over_threaded": MIN_JIT_OVER_THREADED,
+            "region_over_jit": MIN_REGION_OVER_JIT,
         },
         "environment": {
             "python": platform.python_version(),
@@ -221,9 +256,14 @@ def test_simulator_throughput_and_evaluation_walltime():
     assert throughput_speedup >= MIN_THROUGHPUT_SPEEDUP, record["suite"]
     assert evaluation_speedup >= MIN_EVALUATION_SPEEDUP, record["evaluation"]
     assert jit_speedup >= MIN_JIT_OVER_THREADED, record["steady_state"]
+    assert region_speedup >= MIN_REGION_OVER_JIT, record["steady_state"]
+    # The breakdown must actually have seen both source-generating
+    # engines translate, and region fusion must have fired.
+    assert codegen["jit"]["compiles"] + codegen["jit"]["cache_hits"] > 0
+    assert codegen["region"]["regions"] > 0
 
 
-@pytest.mark.parametrize("engine", ["threaded", "jit"])
+@pytest.mark.parametrize("engine", ["threaded", "jit", "region"])
 def test_engine_throughput_floor(benchmark, engine):
     """Absolute per-run throughput of both fast engines (trend metric).
 

@@ -11,7 +11,7 @@ producing an :class:`ExecutionEngine` bound to one
 resolves engine names through :func:`validate_engine_name` /
 :func:`engine_names` instead of a copy of the list.
 
-Three engines register themselves on import:
+Four engines register themselves on import:
 
 * ``interp`` — the reference interpreter (defines the semantics; the only
   engine that can feed full per-instruction trace events);
@@ -22,6 +22,11 @@ Three engines register themselves on import:
   specialized Python source (handler bodies inlined, statistics folded
   into constants, the terminating branch at the end), ``exec``\\ s it once
   into a cached closure, and dispatches block-at-a-time.
+* ``region`` — the region JIT: jit superblocks whose entries prove hot
+  (edge-profile seeded, tunable threshold) are fused — successors chained
+  — into one generated code object with internal ``while``-loop dispatch
+  and deferred block-count statistics, eliminating per-block dispatch on
+  hot paths.
 
 **The engine contract** covers four responsibilities:
 
@@ -210,6 +215,7 @@ def create_engine(name: Optional[str], cpu) -> ExecutionEngine:
 from . import interp as _interp  # noqa: E402  (registration side effect)
 from . import threaded as _threaded  # noqa: E402
 from . import jit as _jit  # noqa: E402
+from . import region as _region  # noqa: E402
 
 __all__ = [
     "DEFAULT_ENGINE",

@@ -41,8 +41,10 @@ granularity when a declared tick deadline falls inside the block.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
+from ... import obs
 from ...caching import BoundedLRU
 from ...isa.encoding import EncodingError
 from ...isa.instructions import Instruction, InstrClass
@@ -90,6 +92,79 @@ _M = WORD_MASK
 #: cold-cache tests, hit/miss accounting).
 _CODE_CACHE = BoundedLRU(maxsize=8192)
 
+#: Always-on, process-wide translation accounting per engine label:
+#: how many code objects were compiled vs served from :data:`_CODE_CACHE`,
+#: the wall seconds spent translating (source assembly + bytecode compile
+#: + closure bind), and — for the region engine — how many regions were
+#: formed and how many superblocks they fused.  The simulator benchmark
+#: reads this through :func:`codegen_stats` to break the cold-suite time
+#: into run cost vs ``compile()`` cost, and the telemetry collector below
+#: mirrors it into the live ``metrics`` snapshot.
+_CODEGEN: Dict[str, Dict[str, float]] = {}
+
+_CODEGEN_KEYS = ("compiles", "cache_hits", "compile_seconds",
+                 "regions", "region_blocks")
+
+
+def _codegen_bucket(label: str) -> Dict[str, float]:
+    bucket = _CODEGEN.get(label)
+    if bucket is None:
+        bucket = _CODEGEN[label] = dict.fromkeys(_CODEGEN_KEYS, 0)
+        bucket["compile_seconds"] = 0.0
+    return bucket
+
+
+def codegen_stats() -> Dict[str, Dict[str, float]]:
+    """Cumulative per-engine translation accounting (a deep copy)."""
+    return {label: dict(bucket) for label, bucket in _CODEGEN.items()}
+
+
+def reset_codegen_stats() -> None:
+    """Zero the accounting (benchmarks isolate per-engine measurements)."""
+    _CODEGEN.clear()
+
+
+def _record_translation(label: str, kind: str, cached: bool,
+                        seconds: float) -> None:
+    """Fold one translation into the accounting and the live metrics."""
+    bucket = _codegen_bucket(label)
+    bucket["cache_hits" if cached else "compiles"] += 1
+    bucket["compile_seconds"] += seconds
+    if obs.ACTIVE is not None:
+        if cached:
+            obs.inc("warp_codegen_cache_hits",
+                    help_text="Generated-code cache hits (code object "
+                              "reused, closures re-bound)",
+                    engine=label, kind=kind)
+        else:
+            obs.inc("warp_codegen_compiles",
+                    help_text="Generated-code compilations (source "
+                              "emitted and byte-compiled)",
+                    engine=label, kind=kind)
+        obs.observe("warp_codegen_compile_ms", seconds * 1e3,
+                    help_text="Wall milliseconds per translation "
+                              "(emit + compile + bind)",
+                    engine=label, kind=kind)
+
+
+def _collect_codegen_metrics(registry) -> None:
+    """Snapshot-time collector: publish the always-on accounting (which
+    also covers translations performed before telemetry was installed)
+    and the shared code-cache occupancy as gauge families."""
+    events = registry.gauge(
+        "warp_codegen_events",
+        "Cumulative code-generation accounting by engine and kind")
+    for label, bucket in _CODEGEN.items():
+        for key, value in bucket.items():
+            events.set(float(value), engine=label, kind=key)
+    registry.gauge(
+        "warp_codegen_cache_entries",
+        "Entries in the process-wide generated-source code cache",
+    ).set(float(len(_CODE_CACHE)))
+
+
+obs.add_collector(_collect_codegen_metrics)
+
 
 def _r(index: int) -> str:
     """Source expression for a register read (r0 reads as the literal 0)."""
@@ -99,10 +174,14 @@ def _r(index: int) -> str:
 class SourceBlockCompiler:
     """Generates, compiles and caches jit superblocks for one CPU."""
 
-    def __init__(self, cpu, blocks: Dict[int, JitBlock]) -> None:
+    def __init__(self, cpu, blocks: Dict[int, JitBlock],
+                 stats_label: str = "jit") -> None:
         self.cpu = cpu
         self.blocks = blocks
         self.precise = bool(getattr(cpu, "precise_fault_stats", False))
+        #: Engine label under which translations are accounted (the
+        #: region engine reuses this compiler for its cold blocks).
+        self.stats_label = stats_label
 
     # ------------------------------------------------------------------ entry
     def compile_block(self, entry: int) -> JitBlock:
@@ -349,6 +428,14 @@ class SourceBlockCompiler:
             raise IllegalInstruction(f"unhandled data instruction {m}")
         return [f"regs[{rd}] = {expr}"]
 
+    def _address(self, instr: Instruction,
+                 pending_imm: Optional[int]) -> str:
+        """Effective-address expression of a load/store (overridable —
+        the region scanner substitutes known-constant operands)."""
+        if instr.spec.fmt.value == "A":
+            return f"({_r(instr.ra)} + {_r(instr.rb)}) & {_M}"
+        return f"({_r(instr.ra)} + {self._imm(instr, pending_imm)}) & {_M}"
+
     def _memory(self, instr: Instruction, pending_imm: Optional[int],
                 dynamic_stats: bool, accumulate: bool,
                 load: bool) -> List[str]:
@@ -363,11 +450,7 @@ class SourceBlockCompiler:
         port_counter = CNT_OPB_READS if load else CNT_OPB_WRITES
         scalar = CNT_LOADS if load else CNT_STORES
 
-        if instr.spec.fmt.value == "A":
-            address = f"({_r(ra)} + {_r(rb)}) & {_M}"
-        else:
-            address = f"({_r(ra)} + {self._imm(instr, pending_imm)}) & {_M}"
-        lines = [f"_a = {address}"]
+        lines = [f"_a = {self._address(instr, pending_imm)}"]
 
         def op_lines(indent: str) -> List[str]:
             if load:
@@ -637,9 +720,12 @@ class SourceBlockCompiler:
             "    return _block\n"
         )
         namespace: Dict[str, object] = {}
+        start = time.perf_counter()
+        hits_before = _CODE_CACHE.hits
         code = _CODE_CACHE.get_or_create(
             source,
             lambda: compile(source, f"<jit block {entry:#x}>", "exec"))
+        cached = _CODE_CACHE.hits > hits_before
         exec(code, namespace)
         cpu = self.cpu
         opb = cpu.opb
@@ -653,6 +739,8 @@ class SourceBlockCompiler:
             cpu._branch_hooks, to_signed, signed_division,
             IllegalInstruction,
         )
+        _record_translation(self.stats_label, "block", cached,
+                            time.perf_counter() - start)
         block: JitBlock = (n, fn, entry, end, static_cycles)
         self.blocks[entry] = block
         return block

@@ -39,7 +39,14 @@ scrape a running gateway's live telemetry (``--prom`` renders the
 Prometheus text exposition) and poll it into a terminal dashboard of
 queue depth, shard occupancy, per-stage hit rates and retry/timeout
 counters.  Local runs accept ``--trace-out spans.jsonl`` to record and
-export the run's trace spans.
+export the run's trace spans.  Finally ::
+
+    repro-warp hot-edges [--benchmarks brev,...] [--engine threaded]
+                         [--top N] [--small] [--out edges.json]
+
+profiles each kernel with the on-chip profiler model and dumps its
+hottest taken-branch edges — the counts the region engine's promotion
+threshold (and ``_seed_from_hooks`` pre-warming) operates on.
 
 Job files are JSON::
 
@@ -220,6 +227,28 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="seconds between polls (default 2)")
     top.add_argument("--iterations", type=int, default=0,
                      help="stop after N polls (0 = run until Ctrl-C)")
+
+    hot = subparsers.add_parser(
+        "hot-edges", help="profile benchmark kernels and dump their "
+                          "hottest branch edges (the candidates the "
+                          "region engine promotes past its threshold)")
+    hot.add_argument("--benchmarks", default=None,
+                     help="comma-separated benchmark names "
+                          "(default: the full six-benchmark suite)")
+    hot.add_argument("--config", choices=sorted(NAMED_CONFIGS),
+                     default="paper", help="processor configuration")
+    from ..microblaze.engines import engine_names as _engine_names
+    hot.add_argument("--engine", default="threaded",
+                     help="execution engine carrying the profiler hook "
+                          f"({', '.join(_engine_names())})")
+    hot.add_argument("--small", action="store_true",
+                     help="use the reduced-size benchmark parameters")
+    hot.add_argument("--top", type=int, default=10,
+                     help="edges listed per kernel (default 10)")
+    hot.add_argument("--out", type=Path, default=None,
+                     help="also write the full dump as JSON here")
+    hot.add_argument("--quiet", action="store_true",
+                     help="suppress the table output")
     return parser
 
 
@@ -536,6 +565,57 @@ def _cmd_top(args) -> int:
         return 3
 
 
+def _cmd_hot_edges(args) -> int:
+    """Profile each selected kernel and dump its hottest branch edges.
+
+    This is the offline view of what the region engine's promotion
+    heuristic sees: taken-branch edges by execution count, hottest
+    first, with backward (loop) edges marked — exactly the counts
+    :meth:`RegionEngine._seed_from_hooks` would warm up from.
+    """
+    from ..apps import build_suite
+    from ..compiler.driver import compile_source_cached
+    from ..microblaze import UnknownEngineError, run_program
+    from ..microblaze.engines import validate_engine_name
+    from ..profiler.profiler import OnChipProfiler
+
+    config = NAMED_CONFIGS[args.config]
+    names = _split(args.benchmarks) if args.benchmarks else None
+    try:
+        engine = validate_engine_name(args.engine)
+        benchmarks = build_suite(small=args.small, names=names)
+    except (UnknownEngineError, KeyError, ValueError) as error:
+        print(f"repro-warp: {error}", file=sys.stderr)
+        return 2
+
+    dump: Dict[str, List[Dict[str, object]]] = {}
+    for benchmark in benchmarks:
+        program = compile_source_cached(benchmark.source,
+                                        name=benchmark.name,
+                                        config=config).program
+        profiler = OnChipProfiler()
+        run_program(program, config, engine=engine, listeners=[profiler])
+        ranked = sorted(profiler.edge_counts.items(),
+                        key=lambda item: (-item[1], item[0]))
+        dump[benchmark.name] = [
+            {"src": src, "dst": dst, "count": count,
+             "backward": dst <= src}
+            for (src, dst), count in ranked[:max(1, args.top)]
+        ]
+        if not args.quiet:
+            print(f"{benchmark.name}: {len(profiler.edge_counts)} edges, "
+                  f"{profiler.total_branches} branches")
+            for edge in dump[benchmark.name]:
+                loop = "  loop" if edge["backward"] else ""
+                print(f"  {edge['src']:#08x} -> {edge['dst']:#08x}"
+                      f"  {edge['count']:>10}{loop}")
+    if args.out is not None:
+        args.out.write_text(json.dumps(dump, indent=2) + "\n")
+        if not args.quiet:
+            print(f"hot-edge dump written to {args.out}")
+    return 0
+
+
 def _cmd_remote_suite(args, jobs: List[WarpJob]) -> int:
     from ..server.client import RemoteWorkerBackend
 
@@ -569,6 +649,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_metrics(args)
         if args.command == "top":
             return _cmd_top(args)
+        if args.command == "hot-edges":
+            return _cmd_hot_edges(args)
         if args.command == "remote-suite":
             return _cmd_remote_suite(args, _sweep_jobs_from_args(args))
         if args.command == "suite":

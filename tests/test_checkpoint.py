@@ -29,9 +29,12 @@ from repro.microblaze import (
     run_slice,
     spawn_from_checkpoint,
 )
+from repro.microblaze import engine_names
 from repro.microblaze.opb import OPB_BASE_ADDRESS
 
-ENGINES = ("threaded", "interp", "jit")
+#: Every registered engine: a new registration is pulled into the
+#: same-engine round trips and all ordered cross-engine pairs below.
+ENGINES = engine_names()
 
 
 def _reference_run(program, engine):
@@ -72,9 +75,9 @@ class TestRoundTrip:
         assert result.data_image == reference.data_image
 
     @pytest.mark.parametrize("capture_engine,resume_engine",
-                             [("threaded", "interp"), ("interp", "threaded"),
-                              ("jit", "interp"), ("interp", "jit"),
-                              ("jit", "threaded"), ("threaded", "jit")])
+                             [(capture, resume)
+                              for capture in ENGINES for resume in ENGINES
+                              if capture != resume])
     def test_cross_engine_resume(self, capture_engine, resume_engine,
                                  compiled_small_programs):
         """A snapshot is engine-independent: capture on one engine, resume

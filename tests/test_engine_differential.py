@@ -1,0 +1,189 @@
+"""Differential equivalence of *every* registered execution engine.
+
+The per-engine test modules (``test_threaded_engine``, ``test_jit_engine``,
+``test_region_engine``) pin each engine's own mechanisms; this module is
+the registry-wide contract: every name :func:`engine_names` returns must
+reproduce the reference interpreter bit for bit — statistics, register
+file, data image, *and* memory-port access counters — across the
+six-benchmark suite, under profiler hooks, through live binary patches
+and on the precise-fault paths.  A future engine registered into the
+registry is pulled into all of these tests automatically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_suite
+from repro.isa import assemble
+from repro.microblaze import (
+    ExecutionLimitExceeded,
+    MemoryError_,
+    MicroBlazeSystem,
+    PAPER_CONFIG,
+    engine_names,
+)
+from repro.partition.binary_patch import patch_live_words
+from repro.profiler.branch_cache import BranchFrequencyCache
+from repro.profiler.profiler import OnChipProfiler
+
+SUITE_NAMES = [benchmark.name for benchmark in build_suite(small=True)]
+
+#: Low promotion threshold so the region engine actually forms regions
+#: inside the small suite runs (the default threshold is tuned for the
+#: full-size kernels).
+HOT_THRESHOLD = 8
+
+
+def _system(engine: str) -> MicroBlazeSystem:
+    system = MicroBlazeSystem(config=PAPER_CONFIG, engine=engine)
+    impl = system.cpu._engine_impl
+    if hasattr(impl, "hot_threshold"):
+        impl.hot_threshold = HOT_THRESHOLD
+    return system
+
+
+def _observe(system: MicroBlazeSystem, result) -> tuple:
+    return (
+        result.stats,
+        result.return_value,
+        result.data_image,
+        list(system.cpu.registers),
+        system.cpu.pc,
+        # Port accounting is part of the architectural model (the paper's
+        # profiler snoops these buses), so engines may not skew it.
+        system.data_bram.port_a_accesses,
+        system.instr_bram.port_a_accesses,
+        system.data_bram.port_b_accesses,
+        system.instr_bram.port_b_accesses,
+    )
+
+
+# ---------------------------------------------------------------- differential
+class TestSuiteBitExact:
+    @pytest.mark.parametrize("engine", engine_names())
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_suite_benchmark_bit_exact(self, engine, name,
+                                       compiled_small_programs):
+        program = compiled_small_programs[name]
+        reference_system = _system("interp")
+        reference = _observe(reference_system,
+                             reference_system.run(program))
+        system = _system(engine)
+        observed = _observe(system, system.run(program))
+        assert observed == reference
+
+    @pytest.mark.parametrize("engine", engine_names())
+    def test_profiler_rankings_identical(self, engine,
+                                         compiled_small_programs):
+        program = compiled_small_programs["canrdr"]
+        profilers = {}
+        for which in ("interp", engine):
+            profiler = OnChipProfiler(BranchFrequencyCache(num_entries=16))
+            system = _system(which)
+            system.cpu.add_listener(profiler)
+            system.run(program)
+            profilers[which] = profiler
+        a, b = profilers["interp"], profilers[engine]
+        assert a.critical_regions() == b.critical_regions()
+        assert a.edge_counts == b.edge_counts
+        assert (a.total_branches, a.backward_taken, a.instructions_observed) \
+            == (b.total_branches, b.backward_taken, b.instructions_observed)
+
+
+# -------------------------------------------------------------------- faults
+#: A misaligned word load (address 9) landing mid-superblock.
+MISALIGNED_MID_BLOCK = """
+    addi r5, r0, 8
+    addi r6, r0, 1
+    add  r7, r5, r6        # r7 = 9: misaligned
+    addi r8, r0, 3
+    lw   r9, r7, r0        # faults here, mid-block
+    addi r10, r0, 99       # must never execute
+    bri  0
+"""
+
+MISALIGNED_IN_HOT_LOOP = """
+    addi r5, r0, 64        # iterations until the fault
+    addi r3, r0, 0
+loop:
+    addi r3, r3, 1
+    addi r5, r5, -1
+    bnei r5, loop
+    lw   r9, r3, r0        # r3 = 64 after the loop: aligned... (64 % 4 == 0)
+    addi r3, r3, 3
+    lw   r9, r3, r0        # 67: misaligned, after the hot loop retired
+    bri  0
+"""
+
+
+class TestFaultPaths:
+    @pytest.mark.parametrize("engine", engine_names())
+    @pytest.mark.parametrize("source", [MISALIGNED_MID_BLOCK,
+                                        MISALIGNED_IN_HOT_LOOP])
+    def test_precise_mode_matches_interpreter(self, engine, source):
+        program = assemble(source, name="faulty")
+        states = {}
+        for which in ("interp", engine):
+            system = MicroBlazeSystem(config=PAPER_CONFIG, engine=which,
+                                      precise_fault_stats=True)
+            impl = system.cpu._engine_impl
+            if hasattr(impl, "hot_threshold"):
+                impl.hot_threshold = HOT_THRESHOLD
+            with pytest.raises(MemoryError_) as info:
+                system.run(program)
+            states[which] = (system.cpu.stats, list(system.cpu.registers),
+                             system.cpu.pc, str(info.value))
+        assert states[engine] == states["interp"]
+
+    @pytest.mark.parametrize("engine", engine_names())
+    def test_default_mode_keeps_architectural_state(self, engine):
+        """Whatever the wholesale-statistics slack, registers and memory
+        at the fault must be interpreter-identical in default mode."""
+        program = assemble(MISALIGNED_IN_HOT_LOOP, name="faulty")
+        states = {}
+        for which in ("interp", engine):
+            system = _system(which)
+            with pytest.raises(MemoryError_):
+                system.run(program)
+            states[which] = (list(system.cpu.registers),
+                             bytes(system.data_bram.storage))
+        assert states[engine] == states["interp"]
+
+
+# --------------------------------------------------------------- live patching
+PATCH_LOOP = """
+    addi r5, r0, 40
+    addi r3, r0, 0
+loop:
+    addi r3, r3, 1
+    addi r5, r5, -1
+    bnei r5, loop
+    bri 0
+"""
+
+
+class TestLivePatchInvalidation:
+    """The dynamic partitioning module patches the *executing* binary;
+    every engine must drop any translation covering the patched words —
+    superblocks and fused regions alike."""
+
+    def _run_patched(self, engine):
+        program = assemble(PATCH_LOOP)
+        system = _system(engine)
+        system.load(program)
+        system.cpu.reset(entry_point=program.entry_point)
+        # Deep enough into the run that the block engines are warm and
+        # the region engine has promoted the loop past HOT_THRESHOLD.
+        with pytest.raises(ExecutionLimitExceeded):
+            system.cpu.run(max_instructions=80)
+        patched = assemble(PATCH_LOOP.replace("addi r3, r3, 1",
+                                              "addi r3, r3, 16"))
+        address = 8  # byte address of the first loop-body instruction
+        patch_live_words(system, address, [patched.text[address // 4]])
+        system.cpu.run()
+        return system.cpu.read_register(3), system.cpu.stats
+
+    @pytest.mark.parametrize("engine", engine_names())
+    def test_mid_run_word_patch_takes_effect(self, engine):
+        assert self._run_patched(engine) == self._run_patched("interp")

@@ -43,7 +43,7 @@ loop:
 class TestRegistry:
     def test_builtin_engines_registered(self):
         names = engine_names()
-        for name in ("interp", "threaded", "jit"):
+        for name in ("interp", "threaded", "jit", "region"):
             assert name in names
         assert DEFAULT_ENGINE in names
 
@@ -91,7 +91,7 @@ class TestRegistry:
         system = MicroBlazeSystem(config=PAPER_CONFIG, engine="interp")
         impl = system.cpu._engine_impl
         assert impl.full_trace and impl.supports_max_cycles
-        for engine in ("threaded", "jit"):
+        for engine in ("threaded", "jit", "region"):
             impl = MicroBlazeSystem(config=PAPER_CONFIG,
                                     engine=engine).cpu._engine_impl
             assert impl.branch_hooks
@@ -236,14 +236,14 @@ class PeriodicTicker(TickCounter):
 
 
 class TestTickBatching:
-    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit", "region"])
     def test_ticked_time_equals_stats_cycles(self, engine):
         peripheral = TickCounter()
         result = run_program(assemble(LOOP), PAPER_CONFIG, engine=engine,
                              peripherals=[peripheral])
         assert peripheral.total == result.stats.cycles
 
-    @pytest.mark.parametrize("engine", ["threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["threaded", "jit", "region"])
     def test_block_engines_batch_ticks(self, engine):
         batched = TickCounter()
         result = run_program(assemble(LOOP), PAPER_CONFIG, engine=engine,
@@ -255,7 +255,7 @@ class TestTickBatching:
         # One tick per superblock, not one per instruction.
         assert batched.calls < reference.calls
 
-    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit", "region"])
     def test_deadline_peripheral_time_is_exact(self, engine):
         peripheral = PeriodicTicker(period=16)
         result = run_program(assemble(LOOP), PAPER_CONFIG, engine=engine,
@@ -263,7 +263,7 @@ class TestTickBatching:
         assert peripheral.total == result.stats.cycles
         assert peripheral.events == result.stats.cycles // 16
 
-    @pytest.mark.parametrize("engine", ["threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["threaded", "jit", "region"])
     def test_deadline_refines_batching(self, engine):
         """A declared deadline inside a block drops delivery to finer
         granularity than deadline-free batching."""
@@ -281,7 +281,7 @@ class TestTickBatching:
         assert system.opb.ticking == []
         assert system.opb.next_deadline() is None
 
-    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit", "region"])
     def test_engine_time_skips_non_opted_peripherals(self, engine):
         """Engine-driven ticks go only to opted-in peripherals; a plain
         peripheral attached alongside a ticking one receives none."""
@@ -294,7 +294,7 @@ class TestTickBatching:
         assert opted.total == result.stats.cycles
         assert bystander.total == 0 and bystander.calls == 0
 
-    @pytest.mark.parametrize("engine", ["threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["threaded", "jit", "region"])
     def test_deadline_respected_in_precise_mode(self, engine):
         """Precise-fault-stats blocks carry no wholesale deltas, but the
         deadline pre-check still needs their static cycle count: a
@@ -329,7 +329,7 @@ class TestTickBatching:
         assert sum(chunks) == 12
         assert chunks == [5, 7]
 
-    @pytest.mark.parametrize("engine", ["threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["threaded", "jit", "region"])
     @pytest.mark.parametrize("period", [2, 3, 5, 7])
     def test_deadline_step_preserves_imm_fusion(self, engine, period):
         """Deadline stepping must never leave an imm latch behind and
@@ -356,7 +356,7 @@ class TestTickBatching:
         assert observed.stats == reference.stats
         assert peripheral.total == observed.stats.cycles
 
-    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit", "region"])
     @pytest.mark.parametrize("precise", [False, True])
     def test_mid_block_fault_still_delivers_ticks(self, engine, precise):
         """A block faulting mid-way must still deliver the cycles it
@@ -379,7 +379,7 @@ class TestTickBatching:
             system.run(assemble(source, name="faulty"))
         assert peripheral.total == system.cpu.stats.cycles
 
-    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit"])
+    @pytest.mark.parametrize("engine", ["interp", "threaded", "jit", "region"])
     def test_suite_benchmark_with_ticking_peripheral(self, engine,
                                                      compiled_small_programs):
         """Ticking changes nothing about execution itself."""
