@@ -15,7 +15,11 @@ Measures, at full benchmark size:
   keep systems and the process-wide code cache warm across jobs, so
   steady state is what repeated sweeps actually pay;
 * the wall time of the full ``run_evaluation()`` pipeline (Figures 6 and
-  7) on all four engines, asserting the checksums along the way.
+  7) on all four engines, asserting the checksums along the way;
+* differential fuzzing campaign throughput (``repro.fuzz``): generated
+  programs per second and fuzzed instructions per second with every
+  registered engine cross-checked per program — the fleet's programs/s
+  budget planner, asserted divergence-free along the way.
 
 Bit-exactness of the fast engines is asserted before any speed is
 compared.  Results are appended to ``BENCH_simulator.json`` at the
@@ -39,6 +43,7 @@ import pytest
 from repro.apps import build_suite
 from repro.compiler import compile_source_cached
 from repro.eval import run_evaluation
+from repro.fuzz import run_campaign
 from repro.microblaze import PAPER_CONFIG, MicroBlazeSystem, run_program
 from repro.microblaze.engines.jit import codegen_stats, reset_codegen_stats
 
@@ -54,6 +59,11 @@ MIN_JIT_OVER_THREADED = 1.5
 #: steady-state suite throughput over the jit engine.  Measured at
 #: 2.2x-2.3x on the reference container; the floor leaves noise headroom.
 MIN_REGION_OVER_JIT = 1.8
+
+#: Seeds per fuzz-campaign throughput measurement (every program runs on
+#: all four registered engines, so the per-seed cost is a fleet-width
+#: cross-check, not a single simulation).
+FUZZ_CAMPAIGN_SEEDS = 40
 
 #: Steady-state timed repeats per benchmark (after one warm-up run).
 #: The per-engine time is the *minimum* over the repeats, and the
@@ -184,6 +194,12 @@ def test_simulator_throughput_and_evaluation_walltime():
         assert suite.all_checksums_match, engine
     evaluation_speedup = evaluation["interp"] / evaluation["threaded"]
 
+    # Differential fuzzing campaign throughput: one mixed-profile seed
+    # range, every registered engine cross-checked per program.  The
+    # campaign must stay divergence-free before its speed is recorded.
+    fuzz_report = run_campaign(FUZZ_CAMPAIGN_SEEDS, profile="mixed")
+    assert fuzz_report.unexplained_divergences == 0, fuzz_report.divergences
+
     record = {
         "suite": {
             "instructions": threaded_instr,
@@ -221,6 +237,19 @@ def test_simulator_throughput_and_evaluation_walltime():
             "jit_seconds": round(evaluation["jit"], 4),
             "region_seconds": round(evaluation["region"], 4),
             "speedup": round(evaluation_speedup, 2),
+        },
+        "fuzz_campaign": {
+            "profile": fuzz_report.profile,
+            "programs": fuzz_report.programs,
+            "engines": list(fuzz_report.engines),
+            "instructions": fuzz_report.instructions,
+            "wall_seconds": round(fuzz_report.wall_seconds, 4),
+            "programs_per_second":
+                round(fuzz_report.programs_per_second, 2),
+            "instructions_per_second":
+                round(fuzz_report.instructions_per_second, 1),
+            "unexplained_divergences":
+                fuzz_report.unexplained_divergences,
         },
         "per_benchmark": {
             name: {
@@ -261,6 +290,8 @@ def test_simulator_throughput_and_evaluation_walltime():
     # engines translate, and region fusion must have fired.
     assert codegen["jit"]["compiles"] + codegen["jit"]["cache_hits"] > 0
     assert codegen["region"]["regions"] > 0
+    assert fuzz_report.programs == FUZZ_CAMPAIGN_SEEDS
+    assert fuzz_report.programs_per_second > 0
 
 
 @pytest.mark.parametrize("engine", ["threaded", "jit", "region"])

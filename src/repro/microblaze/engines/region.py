@@ -1014,8 +1014,10 @@ def _emit_region(root: int, members: Dict[int, _BlockIR],
                 bpc, ra, cond, taken_t, fall_t, slot_lines, _td, _fd \
                     = ir.term
                 # ra is read before the slot runs (the slot may
-                # overwrite it) — interpreter and jit order.
-                test = _cond_test(ra, cond)
+                # overwrite it) — interpreter and jit order.  With a
+                # delay slot the test cannot be inlined after the slot
+                # lines: capture the pre-slot value in ``_x`` first.
+                test = "" if slot_lines else _cond_test(ra, cond)
                 if not test:
                     arm.append(f"_x = {ra}")
                     test = cond

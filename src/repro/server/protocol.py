@@ -319,6 +319,14 @@ def job_to_plain(job: WarpJob) -> Dict[str, Any]:
         "stages": list(job.stages) if job.stages is not None else None,
         "timeout_s": job.timeout_s,
         "trace_id": job.trace_id,
+        # Fuzz-campaign jobs (additive keys — absent for classic jobs on
+        # old senders, defaulted below; not a protocol version bump).
+        "fuzz_profile": job.fuzz_profile,
+        "fuzz_seed": job.fuzz_seed,
+        "fuzz_count": job.fuzz_count,
+        "fuzz_engines": list(job.fuzz_engines)
+        if job.fuzz_engines is not None else None,
+        "fuzz_precise": job.fuzz_precise,
     }
 
 
@@ -333,6 +341,7 @@ def job_from_plain(plain: Dict[str, Any]) -> WarpJob:
         raise JobSpecError(f"wire job {plain.get('name')!r}: bad config/"
                            f"wcla payload: {error}") from error
     stages = plain.get("stages")
+    fuzz_engines = plain.get("fuzz_engines")
     return WarpJob(
         name=plain["name"],
         benchmark=plain.get("benchmark"),
@@ -347,6 +356,12 @@ def job_from_plain(plain: Dict[str, Any]) -> WarpJob:
         stages=tuple(stages) if stages is not None else None,
         timeout_s=plain.get("timeout_s"),
         trace_id=plain.get("trace_id"),
+        fuzz_profile=plain.get("fuzz_profile"),
+        fuzz_seed=plain.get("fuzz_seed", 0),
+        fuzz_count=plain.get("fuzz_count", 25),
+        fuzz_engines=tuple(fuzz_engines)
+        if fuzz_engines is not None else None,
+        fuzz_precise=bool(plain.get("fuzz_precise", False)),
     )
 
 

@@ -46,7 +46,17 @@ export the run's trace spans.  Finally ::
 
 profiles each kernel with the on-chip profiler model and dumps its
 hottest taken-branch edges — the counts the region engine's promotion
-threshold (and ``_seed_from_hooks`` pre-warming) operates on.
+threshold (and ``_seed_from_hooks`` pre-warming) operates on, and ::
+
+    repro-warp fuzz [--seeds N] [--seed-start S] [--profile mixed]
+                    [--engines interp,threaded,...] [--jobs N]
+                    [--precise-fault-stats] [--workers N] [--out ...]
+
+runs a differential fuzzing campaign (see :mod:`repro.fuzz`): N generated
+programs cross-checked across the engine registry, the seed range
+sharded into jobs across the worker pool, and every unexplained
+divergence automatically bisected to a replayable repro bundle in the
+JSON report.
 
 Job files are JSON::
 
@@ -228,6 +238,35 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--iterations", type=int, default=0,
                      help="stop after N polls (0 = run until Ctrl-C)")
 
+    fuzz = subparsers.add_parser(
+        "fuzz", help="run a differential fuzzing campaign: generated "
+                     "programs cross-checked across every registered "
+                     "engine, unexplained divergences auto-bisected to "
+                     "replayable repro bundles")
+    fuzz.add_argument("--seeds", type=int, default=200,
+                      help="number of consecutive generator seeds "
+                           "(default 200)")
+    fuzz.add_argument("--seed-start", type=int, default=0,
+                      help="first seed of the campaign (default 0)")
+    from ..fuzz.generator import profile_names as _profile_names
+    fuzz.add_argument("--profile", default="mixed",
+                      help="generator profile "
+                           f"({', '.join(_profile_names())})")
+    from ..microblaze.engines import engine_names as _fuzz_engine_names
+    fuzz.add_argument("--engines", default=None,
+                      help="comma-separated engines to cross-check "
+                           f"({', '.join(_fuzz_engine_names())}; "
+                           "default: all registered)")
+    fuzz.add_argument("--jobs", type=int, default=0,
+                      help="split the seed range into N campaign shards "
+                           "(0 = one shard per worker, or a single shard "
+                           "when serial)")
+    fuzz.add_argument("--precise-fault-stats", action="store_true",
+                      help="also sweep precise_fault_stats mode")
+    fuzz.add_argument("--max-instructions", type=int, default=2_000_000,
+                      help="per-run instruction budget (default 2M)")
+    common(fuzz)
+
     hot = subparsers.add_parser(
         "hot-edges", help="profile benchmark kernels and dump their "
                           "hottest branch edges (the candidates the "
@@ -299,7 +338,8 @@ def load_job_file(path: Path) -> List[WarpJob]:
     jobs: List[WarpJob] = []
     allowed = {"name", "benchmark", "source", "small", "engine", "priority",
                "max_instructions", "config", "config_label", "stages",
-               "timeout_s"}
+               "timeout_s", "fuzz_profile", "fuzz_seed", "fuzz_count",
+               "fuzz_engines", "fuzz_precise"}
     for index, entry in enumerate(entries):
         if not isinstance(entry, dict) or "name" not in entry:
             raise JobSpecError(f"{path}: job #{index} must be an object with "
@@ -327,6 +367,11 @@ def load_job_file(path: Path) -> List[WarpJob]:
             # WarpJob itself (JobSpecError).
             stages=entry.get("stages"),
             timeout_s=entry.get("timeout_s"),
+            fuzz_profile=entry.get("fuzz_profile"),
+            fuzz_seed=_int_field(entry, "fuzz_seed", 0, path),
+            fuzz_count=_int_field(entry, "fuzz_count", 25, path),
+            fuzz_engines=entry.get("fuzz_engines"),
+            fuzz_precise=bool(entry.get("fuzz_precise", False)),
         ))
     return jobs
 
@@ -349,6 +394,46 @@ def _sweep_jobs_from_args(args) -> List[WarpJob]:
     return suite_sweep_jobs(configs=configs, engines=engines,
                             benchmarks=benchmarks, small=args.small,
                             stages=stages)
+
+
+def _fuzz_jobs_from_args(args) -> List[WarpJob]:
+    """Shard one differential fuzzing campaign into :class:`WarpJob`\\ s.
+
+    The seed range splits into contiguous shards (``--jobs``, defaulting
+    to one per pool worker) so ``--workers N`` fans the campaign across
+    the pool — or across remote gateways via ``submit`` with a fuzz job
+    file.  Unknown engine names fail with exit code 2, matching
+    ``suite --engines`` and ``hot-edges --engine``.
+    """
+    from ..microblaze.engines import UnknownEngineError, validate_engine_name
+
+    if args.seeds <= 0:
+        raise JobSpecError("--seeds must be positive")
+    engines = None
+    if args.engines:
+        try:
+            engines = tuple(validate_engine_name(name)
+                            for name in _split(args.engines))
+        except UnknownEngineError as error:
+            raise JobSpecError(str(error)) from error
+    shards = args.jobs if args.jobs > 0 else max(1, args.workers)
+    shards = min(shards, args.seeds)
+    base, extra = divmod(args.seeds, shards)
+    jobs: List[WarpJob] = []
+    start = args.seed_start
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        jobs.append(WarpJob(
+            name=f"fuzz-{args.profile}-{start}..{start + count}",
+            fuzz_profile=args.profile,
+            fuzz_seed=start,
+            fuzz_count=count,
+            fuzz_engines=engines,
+            fuzz_precise=args.precise_fault_stats,
+            max_instructions=args.max_instructions,
+        ))
+        start += count
+    return jobs
 
 
 def _emit_reports(reports: List[ServiceReport], args) -> int:
@@ -656,6 +741,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "suite":
             jobs = _sweep_jobs_from_args(args)
             repeats = max(1, args.repeat)
+        elif args.command == "fuzz":
+            jobs = _fuzz_jobs_from_args(args)
+            repeats = 1
         else:
             jobs = load_job_file(args.jobfile)
             repeats = 1

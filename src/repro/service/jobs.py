@@ -63,6 +63,11 @@ RESULT_METRIC_FIELDS: Dict[str, str] = {
     "cache.disk_hits": "cache_disk_hits",
     "resilience.retries": "retries",
     "resilience.timeouts": "timeouts",
+    "fuzz.programs": "fuzz_programs",
+    "fuzz.instructions": "fuzz_instructions",
+    "fuzz.divergences": "fuzz_divergences",
+    "fuzz.known_divergences": "fuzz_known_divergences",
+    "fuzz.bisect_steps": "fuzz_bisect_steps",
 }
 
 
@@ -75,9 +80,11 @@ class WarpJob:
     """One declarative warp-service job.
 
     Exactly one of ``benchmark`` (a suite benchmark name, built with
-    ``small``-sized parameters when requested) or ``source`` (raw
-    kernel-language text) must be given.  ``name`` and ``priority`` are
-    scheduling metadata and do not participate in content deduplication.
+    ``small``-sized parameters when requested), ``source`` (raw
+    kernel-language text) or ``fuzz_profile`` (a differential fuzzing
+    campaign over generated programs — see :mod:`repro.fuzz`) must be
+    given.  ``name`` and ``priority`` are scheduling metadata and do not
+    participate in content deduplication.
     ``stages`` optionally swaps registered CAD flow passes for this job
     (e.g. ``("decompile", "synthesis", "place", "route-greedy",
     "implement", "binary-update")``); it changes the computed result, so
@@ -108,13 +115,28 @@ class WarpJob:
     #: joins one trace.  Observability metadata, not content — it does not
     #: participate in :meth:`dedup_key`.
     trace_id: Optional[str] = None
+    #: Differential fuzzing campaign (third workload kind): generator
+    #: profile name, start seed, number of consecutive seeds, the engines
+    #: cross-checked against the reference (``None`` = every registered
+    #: engine) and whether ``precise_fault_stats`` mode is also swept.
+    #: ``max_instructions`` bounds each generated run.
+    fuzz_profile: Optional[str] = None
+    fuzz_seed: int = 0
+    fuzz_count: int = 25
+    fuzz_engines: Optional[Tuple[str, ...]] = None
+    fuzz_precise: bool = False
 
     def __post_init__(self) -> None:
-        if (self.benchmark is None) == (self.source is None):
+        kinds = sum(1 for workload in (self.benchmark, self.source,
+                                       self.fuzz_profile)
+                    if workload is not None)
+        if kinds != 1:
             raise JobSpecError(
-                f"job {self.name!r}: specify exactly one of 'benchmark' or "
-                f"'source'"
+                f"job {self.name!r}: specify exactly one of 'benchmark', "
+                f"'source' or 'fuzz_profile'"
             )
+        if self.fuzz_profile is not None:
+            self._validate_fuzz()
         if self.timeout_s is not None:
             if not isinstance(self.timeout_s, (int, float)) \
                     or isinstance(self.timeout_s, bool) \
@@ -161,14 +183,58 @@ class WarpJob:
             except ValueError as error:
                 raise JobSpecError(f"job {self.name!r}: {error}") from error
 
+    def _validate_fuzz(self) -> None:
+        from ..fuzz.generator import profile_names
+        if self.fuzz_profile not in profile_names():
+            raise JobSpecError(
+                f"job {self.name!r}: unknown fuzz profile "
+                f"{self.fuzz_profile!r} (profiles: "
+                f"{', '.join(profile_names())})"
+            )
+        if not isinstance(self.fuzz_count, int) \
+                or isinstance(self.fuzz_count, bool) or self.fuzz_count <= 0:
+            raise JobSpecError(
+                f"job {self.name!r}: 'fuzz_count' must be a positive "
+                f"integer, not {self.fuzz_count!r}"
+            )
+        if not isinstance(self.fuzz_seed, int) \
+                or isinstance(self.fuzz_seed, bool) or self.fuzz_seed < 0:
+            raise JobSpecError(
+                f"job {self.name!r}: 'fuzz_seed' must be a non-negative "
+                f"integer, not {self.fuzz_seed!r}"
+            )
+        if self.fuzz_engines is not None:
+            if isinstance(self.fuzz_engines, str):
+                raise JobSpecError(
+                    f"job {self.name!r}: 'fuzz_engines' must be a sequence "
+                    f"of engine names, not a single string"
+                )
+            if not isinstance(self.fuzz_engines, tuple):
+                object.__setattr__(self, "fuzz_engines",
+                                   tuple(self.fuzz_engines))
+            for engine in self.fuzz_engines:
+                try:
+                    validate_engine_name(engine)
+                except UnknownEngineError as error:
+                    raise JobSpecError(
+                        f"job {self.name!r}: {error}") from error
+
     def dedup_key(self) -> Tuple:
         """Content identity: two jobs with equal keys compute the same
         result, whatever they are named or prioritized."""
         return (self.benchmark, self.source, self.small, self.config,
-                self.wcla, self.engine, self.max_instructions, self.stages)
+                self.wcla, self.engine, self.max_instructions, self.stages,
+                self.fuzz_profile, self.fuzz_seed, self.fuzz_count,
+                self.fuzz_engines, self.fuzz_precise)
 
     def describe(self) -> str:
-        workload = self.benchmark if self.benchmark else "<inline source>"
+        if self.fuzz_profile is not None:
+            workload = (f"fuzz:{self.fuzz_profile}"
+                        f"[{self.fuzz_seed}.."
+                        f"{self.fuzz_seed + self.fuzz_count})")
+        else:
+            workload = self.benchmark if self.benchmark \
+                else "<inline source>"
         engine = self.engine if self.engine else "default"
         return (f"{self.name}: {workload}"
                 f"{' (small)' if self.small else ''} on "
@@ -227,6 +293,16 @@ class ServiceResult:
     #: when no telemetry sink was active).  Random per run — excluded
     #: from :attr:`CANONICAL_FIELDS` so differential comparisons hold.
     trace_id: Optional[str] = None
+    #: Differential fuzzing accounting (fuzz jobs only): campaign size,
+    #: instructions executed across the fleet, divergence tallies split
+    #: into documented-known and unexplained, bisection probes spent and
+    #: the replayable repro bundles for every unexplained divergence.
+    fuzz_programs: int = 0
+    fuzz_instructions: int = 0
+    fuzz_divergences: int = 0
+    fuzz_known_divergences: int = 0
+    fuzz_bisect_steps: int = 0
+    fuzz_bundles: List[Dict] = field(default_factory=list)
 
     # ----------------------------------------------------------------- metrics
     def metrics_snapshot(self) -> Dict[str, int]:
@@ -350,8 +426,25 @@ class ServiceReport:
         """Watchdog timeouts across the batch."""
         return self.metrics_totals()["resilience.timeouts"]
 
+    @property
+    def fuzz_programs(self) -> int:
+        """Generated programs differentially executed across the batch."""
+        return self.metrics_totals()["fuzz.programs"]
+
+    @property
+    def fuzz_unexplained_divergences(self) -> int:
+        """Engine divergences not matching a documented known shape."""
+        totals = self.metrics_totals()
+        return totals["fuzz.divergences"] - totals["fuzz.known_divergences"]
+
     def succeeded(self) -> List[ServiceResult]:
         return [result for result in self.results if result.ok]
+
+    def warp_results(self) -> List[ServiceResult]:
+        """Successful warp-pipeline results — fuzz campaign shards carry
+        no speedup/energy numbers and stay out of the suite tables."""
+        return [result for result in self.succeeded()
+                if not result.workload.startswith("fuzz:")]
 
     def canonical(self) -> List[Dict]:
         """The report's deterministic identity, in job order — what the
@@ -411,13 +504,13 @@ class ServiceReport:
     def speedup_rows(self) -> List[List[object]]:
         """Suite-level speedup rows via the Figure-6 row builder."""
         return metric_rows([(result.job_name, result.speedups())
-                            for result in self.succeeded()],
+                            for result in self.warp_results()],
                            SERVICE_PLATFORM_ORDER)
 
     def energy_rows(self) -> List[List[object]]:
         """Suite-level normalized-energy rows via the Figure-7 row builder."""
         return metric_rows([(result.job_name, result.normalized_energies())
-                            for result in self.succeeded()],
+                            for result in self.warp_results()],
                            SERVICE_PLATFORM_ORDER)
 
     def speedup_table(self) -> str:
@@ -441,7 +534,15 @@ class ServiceReport:
         if self.total_retries or self.total_timeouts:
             lines.append(f"Resilience: {self.total_retries} retries, "
                          f"{self.total_timeouts} watchdog timeouts")
-        if self.succeeded():
+        if self.fuzz_programs:
+            totals = self.metrics_totals()
+            lines.append(
+                f"Fuzzing: {totals['fuzz.programs']} programs, "
+                f"{totals['fuzz.instructions']} fuzzed instructions, "
+                f"{totals['fuzz.known_divergences']} known / "
+                f"{self.fuzz_unexplained_divergences} unexplained "
+                f"divergences ({totals['fuzz.bisect_steps']} bisect steps)")
+        if self.warp_results():
             lines.append("")
             lines.append(self.speedup_table())
         if self.stage_order():
@@ -461,6 +562,7 @@ class ServiceReport:
             "num_failed": self.num_failed,
             "cache": cache,
             "resilience": self.metrics_block("resilience"),
+            "fuzz": self.metrics_block("fuzz"),
             "stages": {
                 stage: {
                     "wall_ms": round(metrics["wall ms"], 4),
@@ -473,8 +575,9 @@ class ServiceReport:
             },
             "jobs": [result.to_plain() for result in self.results],
             "tables": {
-                "speedup": self.speedup_table() if self.succeeded() else "",
-                "energy": self.energy_table() if self.succeeded() else "",
+                "speedup": self.speedup_table()
+                if self.warp_results() else "",
+                "energy": self.energy_table() if self.warp_results() else "",
                 "stages": self.stage_table() if self.stage_order() else "",
             },
         }
@@ -552,4 +655,7 @@ def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
                    deduped_from=result.job_name,
                    cache_hits=0, cache_misses=0, cache_negative_hits=0,
                    cache_disk_hits=0, retries=0, timeouts=0,
-                   stage_wall_ms={}, stage_cache={}, wall_seconds=0.0)
+                   stage_wall_ms={}, stage_cache={}, wall_seconds=0.0,
+                   fuzz_programs=0, fuzz_instructions=0, fuzz_divergences=0,
+                   fuzz_known_divergences=0, fuzz_bisect_steps=0,
+                   fuzz_bundles=[])

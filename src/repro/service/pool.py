@@ -170,11 +170,53 @@ def execute_job(job: WarpJob,
     return result
 
 
+def _workload_label(job: WarpJob) -> str:
+    if job.fuzz_profile is not None:
+        return (f"fuzz:{job.fuzz_profile}"
+                f"[{job.fuzz_seed}..{job.fuzz_seed + job.fuzz_count})")
+    return job.benchmark if job.benchmark else "<inline source>"
+
+
+def _execute_fuzz(job: WarpJob, result: ServiceResult) -> None:
+    """Run one differential fuzzing campaign shard (see :mod:`repro.fuzz`).
+
+    The shard fails (``ok=False``) exactly when an *unexplained*
+    divergence survives; each one arrives pre-bisected as a replayable
+    repro bundle on ``result.fuzz_bundles``.
+    """
+    from ..fuzz.harness import run_campaign
+    engines = list(job.fuzz_engines) if job.fuzz_engines is not None \
+        else None
+    precise_modes = (False, True) if job.fuzz_precise else (False,)
+    report = run_campaign(
+        job.fuzz_count, start_seed=job.fuzz_seed, profile=job.fuzz_profile,
+        engines=engines, precise_modes=precise_modes, config=job.config,
+        max_instructions=job.max_instructions)
+    result.fuzz_programs = report.programs
+    result.fuzz_instructions = report.instructions
+    result.fuzz_divergences = (report.known_divergences
+                               + report.unexplained_divergences)
+    result.fuzz_known_divergences = report.known_divergences
+    result.fuzz_bisect_steps = report.bisect_steps
+    result.fuzz_bundles = list(report.bundles)
+    if report.unexplained_divergences:
+        result.ok = False
+        engines_hit = sorted({entry["engine"]
+                              for entry in report.divergences
+                              if not entry["known"]})
+        result.error = (
+            f"{report.unexplained_divergences} unexplained divergence(s) "
+            f"against {', '.join(engines_hit)} "
+            f"({len(result.fuzz_bundles)} repro bundle(s) attached)")
+
+
 def _execute_attempt(job: WarpJob,
                      artifact_cache: Optional[CadArtifactCache]) -> ServiceResult:
     """One execution attempt: compile (memoized), profile, partition
     (through the content-addressed CAD cache), co-simulate, and evaluate
     the Figure-5 energies for the software-only and warp-processed runs.
+    Fuzz jobs run their differential campaign instead of the warp
+    pipeline.
 
     Transient :class:`~repro.chaos.ChaosError` faults propagate (the
     caller owns the retry loop); every other exception is absorbed into a
@@ -183,11 +225,21 @@ def _execute_attempt(job: WarpJob,
     start = time.perf_counter()
     result = ServiceResult(
         job_name=job.name,
-        workload=job.benchmark if job.benchmark else "<inline source>",
+        workload=_workload_label(job),
         config_label=job.config_label,
         engine=job.engine if job.engine else DEFAULT_ENGINE,
         worker_pid=os.getpid(),
     )
+    if job.fuzz_profile is not None:
+        try:
+            _execute_fuzz(job, result)
+        except chaos.ChaosError:
+            raise
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            result.ok = False
+            result.error = f"{type(error).__name__}: {error}"
+        result.wall_seconds = time.perf_counter() - start
+        return result
     try:
         cache = artifact_cache if artifact_cache is not None \
             else process_artifact_cache()
@@ -316,7 +368,7 @@ obs.add_collector(_collect_cache_metrics)
 def _failed_result(job: WarpJob, message: str) -> ServiceResult:
     return ServiceResult(
         job_name=job.name,
-        workload=job.benchmark if job.benchmark else "<inline source>",
+        workload=_workload_label(job),
         config_label=job.config_label,
         engine=job.engine if job.engine else DEFAULT_ENGINE,
         ok=False,
