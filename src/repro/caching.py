@@ -18,6 +18,7 @@ one eviction policy, one hit/miss accounting convention, and one explicit
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
@@ -29,9 +30,14 @@ class BoundedLRU:
 
     ``maxsize=None`` disables eviction (unbounded).  Lookups move the entry
     to the most-recently-used position; insertion beyond ``maxsize`` evicts
-    the least recently used entry.  Not thread-safe by design: each worker
-    process of the service owns its private instances, and the in-process
-    serial path runs single-threaded.
+    the least recently used entry.  Mutations serialize on an internal
+    lock: pool workers own private instances, but the gateway's concurrent
+    batch executors share the serial path's process-wide caches across
+    threads.  :meth:`get_or_create` deliberately runs the factory
+    *outside* the lock — two threads may both compute a missed entry, but
+    entries are content-addressed (both compute the identical value, last
+    put wins) and a lock held across an expensive CAD stage would
+    serialize the very concurrency the executors exist for.
     """
 
     def __init__(self, maxsize: Optional[int] = 128):
@@ -39,6 +45,7 @@ class BoundedLRU:
             raise ValueError("maxsize must be positive (or None for unbounded)")
         self.maxsize = maxsize
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -52,41 +59,45 @@ class BoundedLRU:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or a miss."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key`` (does not touch hit/miss counters)."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-
-    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, creating it on a miss."""
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
             self.hits += 1
             self._data.move_to_end(key)
             return value
-        self.misses += 1
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key`` (does not touch hit/miss counters)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, creating it on a miss."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return value
+            self.misses += 1
         value = factory()
         self.put(key, value)
         return value
 
     def clear(self) -> None:
         """Drop every entry and reset the accounting counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     # -------------------------------------------------------------- accounting
     @property

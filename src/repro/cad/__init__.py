@@ -46,6 +46,7 @@ from .flow import (
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_NEGATIVE,
+    SOURCE_PEER,
     SOURCE_UNCACHED,
     CadFlow,
     DpmCostModel,
@@ -86,6 +87,7 @@ __all__ = [
     "SOURCE_HIT",
     "SOURCE_MISS",
     "SOURCE_NEGATIVE",
+    "SOURCE_PEER",
     "SOURCE_UNCACHED",
     "CadFlow",
     "DpmCostModel",

@@ -117,8 +117,13 @@ class CadArtifactCache:
         self._stage_hits: Dict[str, int] = {}
         self._stage_misses: Dict[str, int] = {}
         self._stage_disk_hits: Dict[str, int] = {}
+        self._stage_peer_hits: Dict[str, int] = {}
         self.negative_hits = 0
         self.disk_hits = 0
+        #: Stage lookups satisfied by a mesh peer's store (the persistent
+        #: tier pulled the entry over the wire on a local miss) — a
+        #: network round-trip, so counted apart from ``disk_hits``.
+        self.peer_hits = 0
         #: Write-throughs to the persistent tier that failed (and were
         #: swallowed — persistence is an accelerator, not a dependency).
         self.store_put_errors = 0
@@ -154,15 +159,25 @@ class CadArtifactCache:
             value = self.disk_store.stage_get(stage, key)
             if value is not None:
                 self._stages.put(f"{stage}\x00{key}", value)
-                self.last_lookup_tier = "disk"
+                # The store says how it satisfied the lookup: a plain
+                # local file ("disk") or a mesh peer pull ("peer") —
+                # stores without the attribute are always local.
+                from_peer = getattr(self.disk_store,
+                                    "last_get_source", None) == "peer"
+                self.last_lookup_tier = "peer" if from_peer else "disk"
                 if is_negative_artifact(value):
                     # A replayed rejection is a stage-level hit plus a
                     # negative hit — exactly as when memory serves it —
-                    # but never a ``disk_hit``, so ``disk_hits`` always
-                    # equals the number of ``disk-hit`` stage records.
+                    # but never a ``disk_hit``/``peer_hit``, so those
+                    # always equal the number of same-named stage
+                    # records.
                     self._stage_hits[stage] = \
                         self._stage_hits.get(stage, 0) + 1
                     self.negative_hits += 1
+                elif from_peer:
+                    self._stage_peer_hits[stage] = \
+                        self._stage_peer_hits.get(stage, 0) + 1
+                    self.peer_hits += 1
                 else:
                     self._stage_disk_hits[stage] = \
                         self._stage_disk_hits.get(stage, 0) + 1
@@ -198,8 +213,10 @@ class CadArtifactCache:
         self._stage_hits.clear()
         self._stage_misses.clear()
         self._stage_disk_hits.clear()
+        self._stage_peer_hits.clear()
         self.negative_hits = 0
         self.disk_hits = 0
+        self.peer_hits = 0
         self.store_put_errors = 0
         self.last_lookup_tier = None
 
@@ -236,6 +253,10 @@ class CadArtifactCache:
         """Per-stage hits served by the persistent tier."""
         return dict(self._stage_disk_hits)
 
+    def stage_peer_hits(self) -> Dict[str, int]:
+        """Per-stage hits pulled from a mesh peer's store."""
+        return dict(self._stage_peer_hits)
+
     def stats(self) -> Dict:
         return {
             "hits": self.hits,
@@ -243,16 +264,20 @@ class CadArtifactCache:
             "hit_rate": round(self.hit_rate, 4),
             "negative_hits": self.negative_hits,
             "disk_hits": self.disk_hits,
+            "peer_hits": self.peer_hits,
             "store_put_errors": self.store_put_errors,
             "bundle": self._bundle.stats(),
             "stages": self._stages.stats(),
             "per_stage": {stage: {"hits": self._stage_hits.get(stage, 0),
                                   "misses": self._stage_misses.get(stage, 0),
                                   "disk_hits":
-                                      self._stage_disk_hits.get(stage, 0)}
+                                      self._stage_disk_hits.get(stage, 0),
+                                  "peer_hits":
+                                      self._stage_peer_hits.get(stage, 0)}
                           for stage in sorted(set(self._stage_hits)
                                               | set(self._stage_misses)
-                                              | set(self._stage_disk_hits))},
+                                              | set(self._stage_disk_hits)
+                                              | set(self._stage_peer_hits))},
             "store": self.disk_store.stats()
                      if self.disk_store is not None else None,
         }

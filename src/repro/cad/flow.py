@@ -111,6 +111,7 @@ SOURCE_HIT = "hit"                    # served from a per-stage memory entry
 SOURCE_BUNDLE = "bundle"              # served by the whole-bundle fast path
 SOURCE_NEGATIVE = "negative-hit"      # memoized capacity rejection replayed
 SOURCE_DISK = "disk-hit"              # served by the persistent store tier
+SOURCE_PEER = "peer-hit"              # pulled from a mesh peer's store
 SOURCE_UNCACHED = "uncached"          # executed; no cache or uncacheable
 
 
@@ -321,6 +322,8 @@ class CadFlow:
                         record.source = SOURCE_NEGATIVE
                     elif cache.last_lookup_tier == "disk":
                         record.source = SOURCE_DISK
+                    elif cache.last_lookup_tier == "peer":
+                        record.source = SOURCE_PEER
                     else:
                         record.source = SOURCE_HIT
                     stage.install(context, cached)

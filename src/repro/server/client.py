@@ -25,9 +25,11 @@ Three consumers of the ``WARPNET`` protocol live here:
 
 from __future__ import annotations
 
+import base64
 import socket
 import threading
-from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..digest import shard_index
 from ..retry import DEFAULT_REMOTE_POLICY, RetryPolicy
@@ -140,19 +142,31 @@ class GatewayClient:
         self.close()
 
     # -------------------------------------------------------------------- verbs
-    def submit(self, jobs: Sequence[WarpJob],
-               wait: bool = True) -> Union[ServiceReport, str]:
+    def submit(self, jobs: Sequence[WarpJob], wait: bool = True,
+               client_id: Optional[str] = None,
+               route: Optional[str] = None) -> Union[ServiceReport, str]:
         """Submit a batch.  ``wait=True`` blocks for the finished
         :class:`ServiceReport`; ``wait=False`` returns the batch id.
+
+        ``client_id`` attributes the batch to a per-client admission
+        quota on the gateway; ``route="ring"`` marks the batch as
+        ring-routed, letting a mesh gateway forward it to the current
+        ring owner when the client's ring is stale.  Both travel as
+        additive request keys — older gateways ignore them.
 
         Raises :class:`~repro.server.protocol.GatewayBusyError` when the
         gateway's admission queue rejects the batch.
         """
-        reply = self._round_trip({
+        request = {
             "verb": "submit",
             "wait": wait,
             "jobs": protocol.jobs_to_plain(jobs),
-        })
+        }
+        if client_id is not None:
+            request["client"] = client_id
+        if route is not None:
+            request["route"] = route
+        reply = self._round_trip(request)
         if wait:
             return ServiceReport.from_plain(reply["report"])
         return reply["batch_id"]
@@ -212,6 +226,29 @@ class GatewayClient:
         """
         return self._round_trip({"verb": "metrics", "since": since,
                                  "spans": include_spans})
+
+    # --------------------------------------------------------------- mesh verbs
+    def mesh_join(self, address: str) -> Dict:
+        """Announce gateway ``address`` ("host:port") as a mesh member;
+        returns the receiving gateway's view of the membership."""
+        return self._round_trip({"verb": "mesh-join", "address": address})
+
+    def mesh_peers(self) -> Dict:
+        """The gateway's mesh membership (``members``, ``ring_version``,
+        counters) — also how ring-aware clients refresh their ring."""
+        return self._round_trip({"verb": "mesh-peers"})
+
+    def mesh_fetch(self, stage: str, key: str) -> Optional[bytes]:
+        """Fetch one raw store entry blob from the gateway's disk store,
+        or ``None`` when it does not hold the entry.  The blob travels
+        base64 inside the JSON frame (the protocol stays JSON-only) and
+        is re-validated by the requesting store's own decode path."""
+        reply = self._round_trip({"verb": "mesh-fetch",
+                                  "stage": stage, "key": key})
+        blob = reply.get("blob")
+        if blob is None:
+            return None
+        return base64.b64decode(blob)
 
     def shutdown(self) -> None:
         """Ask the gateway to stop (acknowledged before it goes down)."""
@@ -304,31 +341,70 @@ class AsyncGatewayClient:
 
 
 # ----------------------------------------------------------- per-process connections
-_CLIENT_POOL: Dict[Tuple[str, int], GatewayClient] = {}
+#: Idle leased connections per gateway address, as ``(timeout, client)``
+#: pairs.  The pool holds only *idle* connections: WARPNET framing is
+#: strict request/reply per connection, so a connection is leased to
+#: exactly one round trip at a time — two threads sharing a socket would
+#: read each other's replies (and a mesh fetch that received a
+#: *forward's* reply would install the wrong artifact type).
+_CLIENT_POOL: Dict[Tuple[str, int], List[Tuple[float, GatewayClient]]] = {}
 _CLIENT_POOL_LOCK = threading.Lock()
 
+#: Idle connections kept per gateway address; concurrent leases beyond
+#: this run on their own short-lived connections and are closed on
+#: release instead of pooled.
+_POOL_IDLE_CAP = 4
 
-def _pooled_client(address: Tuple[str, int],
-                   timeout: float) -> GatewayClient:
+
+@contextmanager
+def _pooled_client(address: Tuple[str, int], timeout: float):
+    """Lease a connection to ``address`` for one request/reply exchange.
+
+    Concurrent leases get separate sockets; a clean release returns the
+    connection to the idle pool (up to :data:`_POOL_IDLE_CAP`), any
+    error closes it — a connection that died (or was abandoned mid-
+    exchange) must never serve a later caller a stale reply frame.
+    """
+    client = None
     with _CLIENT_POOL_LOCK:
-        client = _CLIENT_POOL.get(address)
-        if client is None:
-            client = GatewayClient(address, timeout=timeout)
-            _CLIENT_POOL[address] = client
-        return client
+        idle = _CLIENT_POOL.get(address)
+        if idle:
+            for index, (idle_timeout, idle_client) in enumerate(idle):
+                if idle_timeout == timeout:
+                    client = idle_client
+                    del idle[index]
+                    break
+    if client is None:
+        client = GatewayClient(address, timeout=timeout)
+    try:
+        yield client
+    except BaseException:
+        client.close()
+        raise
+    with _CLIENT_POOL_LOCK:
+        idle = _CLIENT_POOL.setdefault(address, [])
+        if len(idle) < _POOL_IDLE_CAP:
+            idle.append((timeout, client))
+            client = None
+    if client is not None:
+        client.close()
 
 
 def _drop_pooled_client(address: Tuple[str, int]) -> None:
+    """Close the idle pooled connections to ``address`` (a failure
+    talking to it makes every cached connection suspect; in-flight
+    leases close themselves on their own error path)."""
     with _CLIENT_POOL_LOCK:
-        client = _CLIENT_POOL.pop(address, None)
-    if client is not None:
+        idle = _CLIENT_POOL.pop(address, [])
+    for _, client in idle:
         client.close()
 
 
 def close_pooled_clients() -> None:
     """Close every per-process pooled gateway connection (tests)."""
     with _CLIENT_POOL_LOCK:
-        clients = list(_CLIENT_POOL.values())
+        clients = [client for idle in _CLIENT_POOL.values()
+                   for _, client in idle]
         _CLIENT_POOL.clear()
     for client in clients:
         client.close()
@@ -380,9 +456,13 @@ class RemoteWorkerBackend:
                                           len(self.addresses))]
 
     def __call__(self, job: WarpJob) -> ServiceResult:
-        address = self.address_for(job)
         schedule = self.retry.delays()
         while True:
+            # Routed per attempt: here the digest is stable so every
+            # attempt lands on the same gateway, but a ring-aware
+            # subclass re-routes after _note_failure drops a dead member
+            # — that is the failover path.
+            address = self.address_for(job)
             occupancy = 0.0
             try:
                 result = self._submit_once(address, job)
@@ -400,16 +480,21 @@ class RemoteWorkerBackend:
             except (protocol.ProtocolError, TimeoutError,
                     ConnectionError, OSError, EOFError) as error:
                 _drop_pooled_client(address)
+                self._note_failure(address)
                 if schedule.give_up():
                     return self._failed(job, address, error)
             except Exception as error:  # noqa: BLE001 - remote fault boundary
                 return self._failed(job, address, error)
             schedule.backoff(occupancy)
 
+    def _note_failure(self, address: Tuple[str, int]) -> None:
+        """Hook for subclasses: a connection-level failure talking to
+        ``address`` (the ring backend drops the member and re-routes)."""
+
     def _submit_once(self, address: Tuple[str, int],
                      job: WarpJob) -> ServiceResult:
-        client = _pooled_client(address, self.timeout)
-        report = client.submit([job], wait=True)
+        with _pooled_client(address, self.timeout) as client:
+            report = client.submit([job], wait=True)
         if not report.results:
             raise protocol.ProtocolError("gateway returned an empty report")
         return report.results[0]

@@ -14,14 +14,28 @@ A :class:`WarpGateway` binds one listening socket and fronts one
   429-style ``busy`` reply — the client raises the typed
   :class:`~repro.server.protocol.GatewayBusyError` — instead of queueing
   unboundedly or hanging the connection.
-* **execution** — batches run strictly one at a time on a single
-  executor thread: the service object is not concurrent-safe, and its
-  *pool* is where parallelism lives (``workers>=1`` fans a batch out
-  across content-affinity shards).  Concurrency across connections comes
-  from asyncio; the executor thread only serializes the CPU-heavy part.
+* **execution** — admitted batches run on a bounded pool of executor
+  threads (``max_concurrent_batches``), all sharing the one service:
+  the serial path's caches are thread-safe, and a pooled service's
+  content-affinity shards serialize per-shard inside
+  ``ProcessPoolExecutor``.  Runner tasks pick the pending batch with the
+  highest *aged* priority (:func:`repro.service.scheduler.aged_priority`
+  over the batch's best job priority), so sustained high-priority
+  traffic delays low-priority batches but can never starve them.
+* **quotas** — beyond the global ``queue_limit``, an optional
+  ``client_quota`` caps the pending jobs attributed to one client id
+  (the additive ``"client"`` submit key); an over-quota submission gets
+  the same typed 429-style ``busy`` reply, extended with the client's
+  own occupancy.
 * **persistence** — with a ``store_path`` the gateway's CAD cache is
   backed by a :class:`~repro.server.store.DiskArtifactStore`, so a
   restarted gateway (or a second one sharing the directory) starts warm.
+* **mesh** — gateways form a :class:`~repro.server.mesh.GatewayMesh`
+  (``peers=`` / ``--peer``): membership travels over the additive
+  ``mesh-join``/``mesh-peers`` verbs, warm store entries replicate on
+  demand over ``mesh-fetch``, and a ``route="ring"`` submission that
+  lands on a non-owner is forwarded to the consistent-hash ring owner
+  (falling back to local execution if the owner cannot take it).
 
 The gateway is deliberately loop-per-thread: ``run()`` owns its own
 ``asyncio`` event loop, so tests and the CLI can host a gateway on a
@@ -31,18 +45,22 @@ background thread next to blocking client code.
 from __future__ import annotations
 
 import asyncio
+import base64
 import itertools
 import shutil
 import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from .. import obs
+from .. import chaos, obs
 from ..service.jobs import JobSpecError, ServiceReport, WarpJob
 from ..service.pool import WarpService, configure_process_store
+from ..service.scheduler import DEFAULT_AGING_INTERVAL_S, aged_priority
 from . import protocol
+from .client import _drop_pooled_client, _pooled_client, parse_address
+from .mesh import GatewayMesh
 
 #: Default number of jobs the admission queue accepts (queued + running).
 DEFAULT_QUEUE_LIMIT = 64
@@ -52,23 +70,41 @@ DEFAULT_QUEUE_LIMIT = 64
 #: must not grow without bound).
 DEFAULT_RETAINED_BATCHES = 256
 
+#: How long a ring-forwarded submission waits for the owner's report.
+FORWARD_TIMEOUT = 600.0
+
+#: Default number of batches executing concurrently.  Small on purpose:
+#: each executing batch fans out over the same worker pool (or the
+#: serial path's single thread of CPU), so this bounds *overlap* — a
+#: short batch no longer waits behind a long one — not total parallelism.
+DEFAULT_MAX_CONCURRENT_BATCHES = 4
+
 
 class _Batch:
     """One submitted batch: its jobs, state and (eventually) report."""
 
-    __slots__ = ("batch_id", "jobs", "num_jobs", "state", "report", "error",
-                 "done", "enqueued_monotonic")
+    __slots__ = ("batch_id", "sequence", "jobs", "num_jobs", "state",
+                 "report", "error", "done", "enqueued_monotonic",
+                 "priority", "client")
 
-    def __init__(self, batch_id: str, jobs: List[WarpJob]):
+    def __init__(self, batch_id: str, sequence: int, jobs: List[WarpJob],
+                 client: Optional[str] = None):
         self.batch_id = batch_id
+        self.sequence = sequence
         self.jobs = jobs                 # dropped once the batch finishes
         self.num_jobs = len(jobs)
         self.state = "queued"            # queued -> running -> done/failed
         self.report: Optional[ServiceReport] = None
         self.error: Optional[str] = None
         self.done = asyncio.Event()
-        #: When the batch was admitted (the queue-age gauge's clock).
+        #: When the batch was admitted (the queue-age gauge's clock and
+        #: the aging clock of the priority scheduler).
         self.enqueued_monotonic = time.monotonic()
+        #: The batch competes at its best job's priority; aging lifts it
+        #: from there while it waits.
+        self.priority = max((job.priority for job in jobs), default=0)
+        #: Client id for per-client quota accounting (``None`` = anonymous).
+        self.client = client
 
 
 class WarpGateway:
@@ -80,16 +116,35 @@ class WarpGateway:
                  retained_batches: int = DEFAULT_RETAINED_BATCHES,
                  store_path=None,
                  service: Optional[WarpService] = None,
-                 telemetry: bool = True):
+                 telemetry: bool = True,
+                 max_concurrent_batches: int = DEFAULT_MAX_CONCURRENT_BATCHES,
+                 client_quota: Optional[int] = None,
+                 aging_interval_s: Optional[float] = DEFAULT_AGING_INTERVAL_S,
+                 peers: Optional[Sequence[str]] = None):
         if queue_limit <= 0:
             raise ValueError("queue_limit must be positive")
         if retained_batches <= 0:
             raise ValueError("retained_batches must be positive")
+        if max_concurrent_batches <= 0:
+            raise ValueError("max_concurrent_batches must be positive")
+        if client_quota is not None and client_quota <= 0:
+            raise ValueError("client_quota must be positive (or None)")
         self.host = host
         self.port = port                 # rebound to the real port on start
         self.queue_limit = queue_limit
         self.retained_batches = retained_batches
         self.store_path = store_path
+        self.max_concurrent_batches = max_concurrent_batches
+        #: Per-client pending-job cap (``None`` = only the global limit).
+        self.client_quota = client_quota
+        #: Aging cadence of the batch queue's priority scheduler
+        #: (``None`` disables aging — classic strict priority).
+        self.aging_interval_s = aging_interval_s
+        #: Mesh peer seed addresses joined at startup (``--peer``).
+        self._peer_seeds = [str(peer) for peer in (peers or ())]
+        #: The live mesh view; built in :meth:`start` once the real port
+        #: is known (a ``port=0`` gateway has no address before binding).
+        self.mesh: Optional[GatewayMesh] = None
         #: Telemetry plane: a gateway is observable out of the box — it
         #: installs a process-wide spooled telemetry (the spool reaches
         #: pool workers through the environment) unless the process
@@ -119,30 +174,55 @@ class WarpGateway:
         #: rejects new submissions with the typed ``draining`` reply,
         #: and stops once the queue is empty.
         self._draining = False
-        self._queue: "asyncio.Queue[_Batch]" = None
+        #: Batches admitted and not yet picked by a runner, ordered by
+        #: aged priority at pick time (not submit time — that is the
+        #: whole point of aging).  Lives on the event loop: only
+        #: coroutines touch it, guarded by ``_pending_cond``.
+        self._pending: List[_Batch] = []
+        self._pending_cond: Optional[asyncio.Condition] = None
         self._pending_jobs = 0
+        #: client id -> pending jobs, for ``client_quota`` admission.
+        self._pending_by_client: Dict[str, int] = {}
+        self._quota_rejections = 0
         self._ids = itertools.count(1)
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._runner_task = None
+        self._runner_tasks: List = []
         self._stop_event: Optional[asyncio.Event] = None
         self._ready = threading.Event()
-        self._executor = ThreadPoolExecutor(max_workers=1,
-                                            thread_name_prefix="warp-batch")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent_batches,
+            thread_name_prefix="warp-batch")
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self) -> None:
-        """Bind the socket and start the batch runner (idempotent)."""
+        """Bind the socket, build the mesh view, start the batch runner
+        pool (idempotent)."""
         if self._server is not None:
             return
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue()
+        self._pending_cond = asyncio.Condition()
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(self._handle_connection,
                                                   host=self.host,
                                                   port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        self._runner_task = asyncio.ensure_future(self._run_batches())
+        self.mesh = GatewayMesh(self.address)
+        disk = getattr(self.service.artifact_cache, "disk_store", None)
+        if disk is not None:
+            # Local misses consult the mesh before recomputing.  Wired
+            # at the gateway-process level: pooled workers keep their
+            # own local store tier (documented limitation — the entry
+            # still replicates when the gateway's serial path, or a
+            # peer, touches it).
+            disk.peer_fetcher = self.mesh.fetch_blob
+        for peer in self._peer_seeds:
+            # Blocking socket I/O off the loop; a dead seed peer fails
+            # the startup loudly rather than leaving us silently meshless.
+            await self._loop.run_in_executor(None, self.mesh.join_via, peer)
+        self._runner_tasks = [
+            asyncio.ensure_future(self._run_batches())
+            for _ in range(self.max_concurrent_batches)]
         self._ready.set()
 
     async def serve(self) -> None:
@@ -163,12 +243,14 @@ class WarpGateway:
             for writer in list(self._connections):
                 writer.close()
             await self._server.wait_closed()
-        if self._runner_task is not None:
-            self._runner_task.cancel()
+        for task in self._runner_tasks:
+            task.cancel()
+        for task in self._runner_tasks:
             try:
-                await self._runner_task
+                await task
             except asyncio.CancelledError:
                 pass
+        self._runner_tasks = []
         self._executor.shutdown(wait=True)
         self.service.close()
         if self._owns_telemetry:
@@ -197,10 +279,38 @@ class WarpGateway:
         return f"{self.host}:{self.port}"
 
     # ------------------------------------------------------------------- batches
+    def _effective_priority(self, batch: _Batch, now: float) -> int:
+        return aged_priority(batch.priority,
+                             now - batch.enqueued_monotonic,
+                             self.aging_interval_s)
+
+    async def _next_batch(self) -> _Batch:
+        """Wait for a pending batch and claim the best one: highest aged
+        priority first, admission order within a level."""
+        async with self._pending_cond:
+            while not self._pending:
+                await self._pending_cond.wait()
+            now = time.monotonic()
+            self._pending.sort(
+                key=lambda b: (-self._effective_priority(b, now),
+                               b.sequence))
+            batch = self._pending.pop(0)
+        boost = self._effective_priority(batch, now) - batch.priority
+        if obs.ACTIVE is not None:
+            obs.set_gauge("warp_batch_priority_boost", float(boost),
+                          "Aging boost (priority levels) of the most "
+                          "recently scheduled batch")
+            if boost > 0:
+                obs.inc("warp_batch_aged_total",
+                        help_text="Batches scheduled above their "
+                                  "submitted priority by aging")
+        return batch
+
     async def _run_batches(self) -> None:
-        """The single consumer: strictly one batch at a time."""
+        """One batch runner; ``max_concurrent_batches`` of these share
+        the executor thread pool (and the one service under it)."""
         while True:
-            batch = await self._queue.get()
+            batch = await self._next_batch()
             batch.state = "running"
             try:
                 batch.report = await asyncio.get_running_loop() \
@@ -211,7 +321,14 @@ class WarpGateway:
                 batch.state = "failed"
                 batch.error = f"{type(error).__name__}: {error}"
             finally:
-                self._pending_jobs -= len(batch.jobs)
+                self._pending_jobs -= batch.num_jobs
+                if batch.client is not None:
+                    remaining = self._pending_by_client.get(batch.client, 0) \
+                        - batch.num_jobs
+                    if remaining > 0:
+                        self._pending_by_client[batch.client] = remaining
+                    else:
+                        self._pending_by_client.pop(batch.client, None)
                 batch.jobs = []          # results live in the report now
                 batch.done.set()
                 self._set_queue_gauges()
@@ -233,7 +350,8 @@ class WarpGateway:
                                       - self.retained_batches)]:
             del self._batches[batch_id]
 
-    def _admit(self, jobs: List[WarpJob]) -> Optional[Dict]:
+    def _admit(self, jobs: List[WarpJob],
+               client: Optional[str] = None) -> Optional[Dict]:
         """Admission control: an error reply when the queue cannot take
         the batch, ``None`` when admitted.
 
@@ -242,8 +360,11 @@ class WarpGateway:
         reserved for transient fullness, where backing off and retrying
         can succeed — it carries ``queue_depth``/``queue_limit`` so
         clients back off proportionally to how loaded we actually are.
-        A draining gateway rejects every submission with the typed,
-        equally non-retryable ``draining`` reply.
+        With a ``client_quota`` configured, a submission carrying a
+        ``client`` id is additionally held to that client's own pending
+        cap (the ``busy`` reply then also carries ``client_pending`` /
+        ``client_quota``).  A draining gateway rejects every submission
+        with the typed, equally non-retryable ``draining`` reply.
         """
         if self._draining:
             return {
@@ -256,13 +377,16 @@ class WarpGateway:
                 "queue_depth": self._pending_jobs,
                 "queue_limit": self.queue_limit,
             }
-        if len(jobs) > self.queue_limit:
+        limit = self.queue_limit
+        if self.client_quota is not None and client is not None:
+            limit = min(limit, self.client_quota)
+        if len(jobs) > limit:
             return {
                 "ok": False,
                 "error": "batch-too-large",
                 "message": (f"batch of {len(jobs)} jobs exceeds this "
                             f"gateway's admission limit of "
-                            f"{self.queue_limit}; split the batch (no "
+                            f"{limit}; split the batch (no "
                             f"amount of retrying can admit it whole)"),
                 "queue_limit": self.queue_limit,
             }
@@ -278,25 +402,60 @@ class WarpGateway:
                 "queue_depth": self._pending_jobs,
                 "queue_limit": self.queue_limit,
             }
+        if self.client_quota is not None and client is not None:
+            client_pending = self._pending_by_client.get(client, 0)
+            if client_pending + len(jobs) > self.client_quota:
+                self._quota_rejections += 1
+                if obs.ACTIVE is not None:
+                    obs.inc("warp_quota_rejections_total", client=client,
+                            help_text="Submissions rejected by the "
+                                      "per-client quota")
+                return {
+                    "ok": False,
+                    "error": "busy",
+                    "code": 429,
+                    "message": (f"client {client!r} is over quota: "
+                                f"{client_pending} jobs pending, quota "
+                                f"{self.client_quota}, batch of "
+                                f"{len(jobs)} rejected"),
+                    "pending_jobs": self._pending_jobs,
+                    "queue_depth": self._pending_jobs,
+                    "queue_limit": self.queue_limit,
+                    "client": client,
+                    "client_pending": client_pending,
+                    "client_quota": self.client_quota,
+                }
         return None
 
-    def _enqueue(self, jobs: List[WarpJob]) -> _Batch:
-        batch = _Batch(f"batch-{next(self._ids)}", jobs)
+    async def _enqueue(self, jobs: List[WarpJob],
+                       client: Optional[str] = None) -> _Batch:
+        sequence = next(self._ids)
+        batch = _Batch(f"batch-{sequence}", sequence, jobs, client=client)
         self._batches[batch.batch_id] = batch
         self._pending_jobs += len(jobs)
-        self._queue.put_nowait(batch)
+        if client is not None:
+            self._pending_by_client[client] = \
+                self._pending_by_client.get(client, 0) + len(jobs)
+        async with self._pending_cond:
+            self._pending.append(batch)
+            self._pending_cond.notify()
         self._set_queue_gauges()
         return batch
 
     def _set_queue_gauges(self) -> None:
         """Publish the admission queue's live state as gauge families
-        (queue depth, limit and the age of the oldest pending batch)."""
+        (queue depth, limit, per-client occupancy and the age of the
+        oldest pending batch)."""
         if obs.ACTIVE is None:
             return
         obs.set_gauge("warp_queue_depth", self._pending_jobs,
                       "Jobs admitted and not yet finished")
         obs.set_gauge("warp_queue_limit", self.queue_limit,
                       "Admission limit (queued + running jobs)")
+        for client, pending in self._pending_by_client.items():
+            obs.set_gauge("warp_client_pending_jobs", float(pending),
+                          "Pending jobs by submitting client",
+                          client=client)
         pending = [batch.enqueued_monotonic
                    for batch in self._batches.values()
                    if batch.state in ("queued", "running")]
@@ -388,6 +547,13 @@ class WarpGateway:
             await self._verb_cache_stats(writer)
         elif verb == "metrics":
             await self._verb_metrics(request, writer)
+        elif verb == "mesh-join":
+            await self._verb_mesh_join(request, writer)
+        elif verb == "mesh-peers":
+            await protocol.write_frame(writer,
+                                       {"ok": True, **self.mesh.members()})
+        elif verb == "mesh-fetch":
+            await self._verb_mesh_fetch(request, writer)
         elif verb == "shutdown":
             # Graceful drain: admitted batches finish (their submitters
             # get real reports), new submissions are rejected with the
@@ -417,11 +583,16 @@ class WarpGateway:
                 "ok": False, "error": "bad-jobs", "message": str(error),
             })
             return
-        busy = self._admit(jobs)
+        client = request.get("client")
+        forwarded_reply = await self._maybe_forward(request, jobs)
+        if forwarded_reply is not None:
+            await protocol.write_frame(writer, forwarded_reply)
+            return
+        busy = self._admit(jobs, client=client)
         if busy is not None:
             await protocol.write_frame(writer, busy)
             return
-        batch = self._enqueue(jobs)
+        batch = await self._enqueue(jobs, client=client)
         if not request.get("wait", True):
             await protocol.write_frame(writer, {
                 "ok": True, "batch_id": batch.batch_id,
@@ -430,6 +601,105 @@ class WarpGateway:
             return
         await batch.done.wait()
         await protocol.write_frame(writer, self._batch_reply(batch))
+
+    async def _maybe_forward(self, request: Dict,
+                             jobs: List[WarpJob]) -> Optional[Dict]:
+        """Ring-aware forwarding: a single-job ``route="ring"`` batch
+        that this gateway does not own under its (authoritative) ring is
+        relayed to the ring owner — the stale-ring fallback that keeps a
+        client with an old membership view hitting warm caches.
+
+        The ``forwarded`` hop guard caps the relay at one hop: the
+        owner executes even if *its* ring disagrees, so two gateways
+        with momentarily divergent views can never forward in a loop.
+        Returns the owner's reply (tagged ``forwarded_to``), or ``None``
+        to execute locally — also the fallback when the owner cannot be
+        reached or cannot take the batch.
+        """
+        if (request.get("route") != "ring" or request.get("forwarded")
+                or self._draining or len(jobs) != 1
+                or self.mesh is None or len(self.mesh.ring) <= 1):
+            return None
+        owner = self.mesh.ring.node_for(repr(jobs[0].dedup_key()))
+        if owner is None or owner == self.mesh.self_address:
+            return None
+        reply = await asyncio.get_running_loop().run_in_executor(
+            None, self._forward_submit, owner, request)
+        if obs.ACTIVE is not None:
+            obs.inc("warp_mesh_forwards_total",
+                    result="relayed" if reply is not None else "local",
+                    help_text="Ring-routed submissions forwarded to the "
+                              "ring owner, by outcome")
+        return reply
+
+    def _forward_submit(self, owner: str, request: Dict) -> Optional[Dict]:
+        """Blocking side of the relay (runs off the event loop)."""
+        address = parse_address(owner)
+        forwarded = dict(request)
+        forwarded["forwarded"] = True
+        try:
+            if chaos.ACTIVE_PLAN is not None:
+                chaos.fire(chaos.SITE_MESH_MEMBER, label=owner)
+            with _pooled_client(address, FORWARD_TIMEOUT) as forward_client:
+                reply = forward_client._round_trip(forwarded)
+        except (protocol.GatewayBusyError, protocol.GatewayDrainingError,
+                protocol.RemoteError):
+            return None          # owner is alive but can't take it: run local
+        except ConnectionResetError:
+            # Injected (or real) member failure mid-conversation.
+            _drop_pooled_client(address)
+            self.mesh.drop_member(owner)
+            return None
+        except (protocol.ProtocolError, TimeoutError, ConnectionError,
+                OSError, EOFError):
+            _drop_pooled_client(address)
+            self.mesh.drop_member(owner)
+            return None
+        reply = dict(reply)
+        reply["forwarded_to"] = owner
+        return reply
+
+    async def _verb_mesh_join(self, request: Dict, writer) -> None:
+        address = request.get("address")
+        if not address:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "bad-address",
+                "message": "mesh-join needs an 'address' of host:port",
+            })
+            return
+        try:
+            view = self.mesh.handle_join(str(address))
+        except ValueError as error:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "bad-address", "message": str(error),
+            })
+            return
+        await protocol.write_frame(writer, {"ok": True, **view})
+
+    async def _verb_mesh_fetch(self, request: Dict, writer) -> None:
+        """Serve one raw store entry blob to a mesh peer (base64 in the
+        JSON frame; ``blob: null`` when we don't hold it).  Entries are
+        immutable and content-addressed, so no locking is needed beyond
+        the store's own atomic publishes."""
+        stage, key = request.get("stage"), request.get("key")
+        if not stage or not key:
+            await protocol.write_frame(writer, {
+                "ok": False, "error": "bad-request",
+                "message": "mesh-fetch needs 'stage' and 'key'",
+            })
+            return
+        disk = getattr(self.service.artifact_cache, "disk_store", None)
+        blob = None
+        if disk is not None:
+            try:
+                blob = disk.entry_blob(str(stage), str(key))
+            except Exception:  # noqa: BLE001 - peer fetch must not wedge us
+                blob = None
+        await protocol.write_frame(writer, {
+            "ok": True, "stage": stage, "key": key,
+            "blob": base64.b64encode(blob).decode("ascii")
+            if blob is not None else None,
+        })
 
     def _lookup(self, request: Dict) -> Optional[_Batch]:
         return self._batches.get(request.get("batch_id"))
@@ -442,7 +712,12 @@ class WarpGateway:
                 "message": f"no batch {request.get('batch_id')!r}",
             })
             return
-        await protocol.write_frame(writer, self._batch_reply(batch))
+        reply = self._batch_reply(batch)
+        # Additive key (decoders use .get(): no version bump) — lets a
+        # ring-aware client refresh its membership from any reply.
+        if self.mesh is not None:
+            reply["mesh"] = self.mesh.members()
+        await protocol.write_frame(writer, reply)
 
     async def _verb_stream(self, request: Dict, writer) -> None:
         """Stream a batch's results one frame at a time, then ``done``.
@@ -496,9 +771,13 @@ class WarpGateway:
             "cursor": 0,
             "queue_depth": self._pending_jobs,
             "queue_limit": self.queue_limit,
+            "client_quota": self.client_quota,
+            "quota_rejections": self._quota_rejections,
+            "max_concurrent_batches": self.max_concurrent_batches,
             "draining": self._draining,
             "mode": self.service.mode,
             "workers": self.service.workers,
+            "mesh": self.mesh.members() if self.mesh is not None else None,
         }
         telemetry = obs.ACTIVE
         if telemetry is not None:
@@ -538,11 +817,14 @@ class WarpGateway:
             "pending_jobs": self._pending_jobs,
             "queue_depth": self._pending_jobs,
             "queue_limit": self.queue_limit,
+            "client_quota": self.client_quota,
+            "quota_rejections": self._quota_rejections,
             "draining": self._draining,
             "batches": {batch_id: batch.state
                         for batch_id, batch in self._batches.items()},
             "mode": self.service.mode,
             "workers": self.service.workers,
+            "mesh": self.mesh.members() if self.mesh is not None else None,
         }
         if self.service.workers >= 1:
             # Pool workers hold their own per-process caches; this

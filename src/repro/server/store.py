@@ -93,11 +93,24 @@ class DiskArtifactStore:
 
     def __init__(self, root, max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
                  quarantine_corrupt: bool = True,
-                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S):
+                 tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S,
+                 peer_fetcher=None):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None, unbounded)")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        #: Mesh replication seam: a ``(stage, key) -> Optional[bytes]``
+        #: callable returning a raw ``WARPDISK`` entry blob from a peer
+        #: gateway's store, consulted on a local miss (set by the gateway
+        #: when it joins a mesh — see :mod:`repro.server.mesh`).  A
+        #: fetched blob goes through exactly the local decode path — same
+        #: loud schema check, and a corrupt peer payload is counted and
+        #: treated as a miss (there is no local file to quarantine) — and
+        #: a good one is published locally, so the next lookup is a plain
+        #: disk hit.  Peers share the trust domain of a shared store
+        #: directory; the fetcher must only ever talk to configured mesh
+        #: members, never arbitrary hosts.
+        self.peer_fetcher = peer_fetcher
         #: When set (the default), a corrupt/truncated entry is moved
         #: aside and reported as a miss instead of raising — the caller
         #: recomputes, the flow survives.  Schema-version mismatches are
@@ -114,6 +127,16 @@ class DiskArtifactStore:
         self.corrupt_entries = 0
         #: Orphaned tmp files removed by the open-time GC.
         self.orphan_tmp_removed = 0
+        #: Entries satisfied from a mesh peer on a local miss (counted
+        #: separately from ``hits`` end to end: a peer hit is a network
+        #: round-trip, not a local file read).
+        self.peer_hits = 0
+        #: Peer fetches that returned an undecodable blob.
+        self.peer_fetch_errors = 0
+        #: How the most recent :meth:`stage_get` was satisfied:
+        #: ``"disk"``, ``"peer"`` or ``"miss"`` (``None`` before any
+        #: lookup).  Read by the cache tier above to attribute the hit.
+        self.last_get_source: Optional[str] = None
         #: Running size estimate so a write only pays a full directory
         #: scan when the bound is (approximately) crossed.  Other
         #: processes' writes are invisible to it, but eviction itself
@@ -249,6 +272,7 @@ class DiskArtifactStore:
             return self._stage_get(stage, key)
         start = time.perf_counter()
         hits_before = self.hits
+        peer_before = self.peer_hits
         corrupt_before = self.corrupt_entries
         try:
             return self._stage_get(stage, key)
@@ -256,8 +280,9 @@ class DiskArtifactStore:
             # Nests under the caller's open span (the CAD stage that
             # missed in memory), joining the job's trace.
             outcome = "hit" if self.hits > hits_before else \
-                ("corrupt" if self.corrupt_entries > corrupt_before
-                 else "miss")
+                ("peer" if self.peer_hits > peer_before
+                 else ("corrupt" if self.corrupt_entries > corrupt_before
+                       else "miss"))
             obs.record_span("store-load",
                             time.perf_counter() - start,
                             stage=stage, outcome=outcome)
@@ -267,7 +292,12 @@ class DiskArtifactStore:
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
+            if self.peer_fetcher is not None:
+                value = self._peer_get(stage, key, path)
+                if value is not None:
+                    return value
             self.misses += 1
+            self.last_get_source = "miss"
             return None
         if chaos.ACTIVE_PLAN is not None:
             injection = chaos.fire(chaos.SITE_STORE_LOAD, label=path.name)
@@ -296,6 +326,37 @@ class DiskArtifactStore:
         except OSError:  # pragma: no cover - entry evicted under our feet
             pass
         self.hits += 1
+        self.last_get_source = "disk"
+        return value
+
+    def _peer_get(self, stage: str, key: str, path: Path) -> Optional[object]:
+        """Try the mesh on a local miss: fetch the raw entry blob from a
+        peer, decode it through the normal (loud) entry codec, and
+        publish it locally so subsequent lookups are plain disk hits.
+        Any peer failure degrades to a miss — the caller recomputes.
+        """
+        try:
+            blob = self.peer_fetcher(stage, key)
+        except Exception:
+            # The mesh layer already classifies and counts its own
+            # failures (chaos resets, dead members); anything escaping
+            # to here still must not take down a CAD stage.
+            self.peer_fetch_errors += 1
+            return None
+        if blob is None:
+            return None
+        try:
+            value = self._decode(blob, f"peer:{stage}-{key}")
+        except DiskStoreSchemaError:
+            raise          # build/store disagreement stays loud, as local.
+        except DiskStoreError:
+            # A corrupt peer payload: nothing local to quarantine, just
+            # count it and recompute.
+            self.peer_fetch_errors += 1
+            return None
+        self._store_blob(path, blob)
+        self.peer_hits += 1
+        self.last_get_source = "peer"
         return value
 
     def _quarantine(self, path: Path) -> None:
@@ -321,9 +382,13 @@ class DiskArtifactStore:
                             time.perf_counter() - start, stage=stage)
 
     def _stage_put(self, stage: str, key: str, value: object) -> None:
-        blob = self._encode(value)
+        self._store_blob(self._entry_path(stage, key), self._encode(value))
+
+    def _store_blob(self, path: Path, blob: bytes) -> None:
+        """Publish an already-encoded entry blob under the size bound
+        (shared by local writes and peer replication)."""
         with self._locked():
-            self._publish(self._entry_path(stage, key), blob)
+            self._publish(path, blob)
             self.writes += 1
             if self.max_bytes is None:
                 return
@@ -333,6 +398,25 @@ class DiskArtifactStore:
                 self._approx_bytes += len(blob)
             if self._approx_bytes > self.max_bytes:
                 self._approx_bytes = self._evict_locked()
+
+    def entry_blob(self, stage: str, key: str) -> Optional[bytes]:
+        """The raw encoded bytes of one entry, or ``None`` — what a mesh
+        peer serves over ``mesh-fetch``.  Entries are immutable and
+        content-addressed, so the bytes are safe to hand out verbatim;
+        the requesting store re-validates them through its own decode
+        path.  Does not touch hit/miss accounting (the *requester* is
+        the one doing a lookup) but refreshes the LRU clock: a replica
+        another member still wants is worth keeping."""
+        path = self._entry_path(stage, key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry evicted under our feet
+            pass
+        return blob
 
     # --------------------------------------------------------------- eviction
     def _entries(self) -> List[Tuple[Path, int, float]]:
@@ -379,6 +463,9 @@ class DiskArtifactStore:
         self.evictions = 0
         self.corrupt_entries = 0
         self.orphan_tmp_removed = 0
+        self.peer_hits = 0
+        self.peer_fetch_errors = 0
+        self.last_get_source = None
         self._approx_bytes = None
 
     # -------------------------------------------------------------- accounting
@@ -402,4 +489,6 @@ class DiskArtifactStore:
             "evictions": self.evictions,
             "corrupt_entries": self.corrupt_entries,
             "orphan_tmp_removed": self.orphan_tmp_removed,
+            "peer_hits": self.peer_hits,
+            "peer_fetch_errors": self.peer_fetch_errors,
         }

@@ -27,6 +27,7 @@ from ..cad import (
     SOURCE_HIT,
     SOURCE_MISS,
     SOURCE_NEGATIVE,
+    SOURCE_PEER,
     validate_job_stage_names,
 )
 from ..eval.figures import metric_rows
@@ -45,9 +46,10 @@ STAGE_METRIC_ORDER = ("wall ms", "hits", "misses", "hit rate")
 
 #: Stage record sources that count as stage-level cache hits (the bundle
 #: fast path serves every bundled stage at once; a negative hit replays a
-#: memoized capacity rejection without re-running the stage; a disk hit is
-#: served by the persistent store tier — also tallied separately).
-_STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE, SOURCE_DISK)
+#: memoized capacity rejection without re-running the stage; disk and peer
+#: hits are served by the persistent store tier — also tallied separately).
+_STAGE_HIT_SOURCES = (SOURCE_HIT, SOURCE_BUNDLE, SOURCE_NEGATIVE, SOURCE_DISK,
+                      SOURCE_PEER)
 
 #: The single mapping from report metric names (``"<block>.<key>"``) to the
 #: :class:`ServiceResult` field carrying the per-job count.  Report
@@ -61,6 +63,7 @@ RESULT_METRIC_FIELDS: Dict[str, str] = {
     "cache.misses": "cache_misses",
     "cache.negative_hits": "cache_negative_hits",
     "cache.disk_hits": "cache_disk_hits",
+    "cache.peer_hits": "cache_peer_hits",
     "resilience.retries": "retries",
     "resilience.timeouts": "timeouts",
     "fuzz.programs": "fuzz_programs",
@@ -271,6 +274,10 @@ class ServiceResult:
     #: Stage lookups served by the persistent disk store tier (counted
     #: separately from in-memory stage hits).
     cache_disk_hits: int = 0
+    #: Stage lookups pulled from a mesh peer's store on a local miss
+    #: (counted separately from ``cache_disk_hits`` — a peer hit is a
+    #: network round-trip, not a local file read).
+    cache_peer_hits: int = 0
     #: Per-stage CAD flow accounting: host wall milliseconds per stage and
     #: how each stage was satisfied ("miss"/"hit"/"bundle"/"negative-hit"/
     #: "uncached"); memoized capacity rejections served to this job.
@@ -416,6 +423,11 @@ class ServiceReport:
         return self.metrics_totals()["cache.disk_hits"]
 
     @property
+    def cache_peer_hits(self) -> int:
+        """Stage lookups pulled from a mesh peer's store."""
+        return self.metrics_totals()["cache.peer_hits"]
+
+    @property
     def total_retries(self) -> int:
         """Retries absorbed across the batch (transient faults, crashed
         or hung neighbours, remote resubmissions)."""
@@ -465,14 +477,15 @@ class ServiceReport:
         """Per-stage aggregate: total host wall ms, cache hits/misses and
         the stage-level hit rate across every executed job.
 
-        ``hits`` counts every cache-served stage (memory, bundle, negative
-        and disk); ``disk hits`` additionally breaks out the subset served
-        by the persistent store tier.
+        ``hits`` counts every cache-served stage (memory, bundle, negative,
+        disk and peer); ``disk hits`` / ``peer hits`` additionally break
+        out the subsets served by the persistent store tier locally and
+        pulled from a mesh peer.
         """
         entries: List[Tuple[str, Dict[str, float]]] = []
         for stage in self.stage_order():
             wall_ms = 0.0
-            hits = misses = disk = 0
+            hits = misses = disk = peer = 0
             for result in self.results:
                 wall_ms += result.stage_wall_ms.get(stage, 0.0)
                 source = result.stage_cache.get(stage)
@@ -480,6 +493,8 @@ class ServiceReport:
                     hits += 1
                     if source == SOURCE_DISK:
                         disk += 1
+                    elif source == SOURCE_PEER:
+                        peer += 1
                 elif source == SOURCE_MISS:
                     misses += 1
             lookups = hits + misses
@@ -488,6 +503,7 @@ class ServiceReport:
                 "hits": hits,
                 "misses": misses,
                 "disk hits": disk,
+                "peer hits": peer,
                 "hit rate": hits / lookups if lookups else 0.0,
             }))
         return entries
@@ -569,6 +585,7 @@ class ServiceReport:
                     "hits": metrics["hits"],
                     "misses": metrics["misses"],
                     "disk_hits": metrics["disk hits"],
+                    "peer_hits": metrics["peer hits"],
                     "hit_rate": round(metrics["hit rate"], 4),
                 }
                 for stage, metrics in self.stage_summary()
@@ -654,7 +671,8 @@ def expand_duplicate(result: ServiceResult, job: WarpJob) -> ServiceResult:
     return replace(result, job_name=job.name, config_label=job.config_label,
                    deduped_from=result.job_name,
                    cache_hits=0, cache_misses=0, cache_negative_hits=0,
-                   cache_disk_hits=0, retries=0, timeouts=0,
+                   cache_disk_hits=0, cache_peer_hits=0, retries=0,
+                   timeouts=0,
                    stage_wall_ms={}, stage_cache={}, wall_seconds=0.0,
                    fuzz_programs=0, fuzz_instructions=0, fuzz_divergences=0,
                    fuzz_known_divergences=0, fuzz_bisect_steps=0,

@@ -38,6 +38,7 @@ cannot preempt them.)
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -47,7 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import chaos, obs
-from ..cad import SOURCE_DISK, SOURCE_NEGATIVE
+from ..cad import SOURCE_DISK, SOURCE_NEGATIVE, SOURCE_PEER
 from ..compiler import compile_source_cached
 from ..digest import shard_index
 from ..microblaze.engines import DEFAULT_ENGINE
@@ -278,6 +279,9 @@ def _execute_attempt(job: WarpJob,
         result.cache_disk_hits = sum(
             1 for record in outcome.stage_records
             if record.source == SOURCE_DISK)
+        result.cache_peer_hits = sum(
+            1 for record in outcome.stage_records
+            if record.source == SOURCE_PEER)
         if obs.ACTIVE is not None:
             software = warp.software_result
             obs.inc("warp_engine_instructions_total",
@@ -335,6 +339,7 @@ def _collect_cache_metrics(registry) -> None:
         events.set(cache.misses, kind="bundle-miss")
         events.set(cache.negative_hits, kind="negative-hit")
         events.set(cache.disk_hits, kind="disk-hit")
+        events.set(cache.peer_hits, kind="peer-hit")
         events.set(cache.store_put_errors, kind="store-put-error")
         stage_family = registry.gauge(
             "warp_cache_stage_lookups",
@@ -344,6 +349,8 @@ def _collect_cache_metrics(registry) -> None:
             stage_family.set(misses, stage=stage, result="miss")
         for stage, disk in cache.stage_disk_hits().items():
             stage_family.set(disk, stage=stage, result="disk-hit")
+        for stage, peer in cache.stage_peer_hits().items():
+            stage_family.set(peer, stage=stage, result="peer-hit")
         store = cache.disk_store
         if store is not None:
             store_family = registry.gauge(
@@ -427,7 +434,11 @@ class WarpService:
             else process_artifact_cache()
         self._worker_fn = worker_fn
         #: Shard index -> its single-worker executor (created lazily).
+        #: Guarded by ``_shards_lock``: the gateway's concurrent batch
+        #: executors share one service, so shard creation, watchdog
+        #: kills and close() race across threads.
         self._shards: Dict[int, ProcessPoolExecutor] = {}
+        self._shards_lock = threading.Lock()
 
     # ------------------------------------------------------------------ pool
     @property
@@ -450,14 +461,16 @@ class WarpService:
         return shard_index(repr(job.dedup_key()), self.workers)
 
     def _shard(self, index: int) -> ProcessPoolExecutor:
-        executor = self._shards.get(index)
-        if executor is None:
-            executor = ProcessPoolExecutor(max_workers=1)
-            self._shards[index] = executor
-        return executor
+        with self._shards_lock:
+            executor = self._shards.get(index)
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=1)
+                self._shards[index] = executor
+            return executor
 
     def _drop_shard(self, index: int) -> None:
-        executor = self._shards.pop(index, None)
+        with self._shards_lock:
+            executor = self._shards.pop(index, None)
         if executor is not None:
             executor.shutdown(wait=False)
 
@@ -472,7 +485,8 @@ class WarpService:
         ``BrokenProcessPool`` — the same signal a crash produces, so the
         innocent-retry path downstream handles both identically.
         """
-        executor = self._shards.pop(index, None)
+        with self._shards_lock:
+            executor = self._shards.pop(index, None)
         if executor is None:
             return
         for process in list(getattr(executor, "_processes", {}).values()):
@@ -484,9 +498,11 @@ class WarpService:
 
     def close(self) -> None:
         """Shut every shard down (idempotent)."""
-        for executor in self._shards.values():
+        with self._shards_lock:
+            executors = list(self._shards.values())
+            self._shards.clear()
+        for executor in executors:
             executor.shutdown()
-        self._shards.clear()
 
     def __enter__(self) -> "WarpService":
         return self

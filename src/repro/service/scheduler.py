@@ -12,16 +12,43 @@ specs into an execution plan:
 * **ordering** — ``policy="priority"`` (default) runs higher ``priority``
   first, FIFO within a priority level; ``policy="fifo"`` preserves pure
   submission order.
+* **aging** — with an ``aging_interval_s``, a waiting slot's *effective*
+  priority grows by one level per full interval waited
+  (:func:`aged_priority`), so sustained high-priority traffic can delay a
+  low-priority submission but never starve it.  Off by default: a
+  scheduler that plans a batch once has no meaningful wait, so the
+  classic instantaneous plan stays bit-identical.  The gateway's batch
+  queue uses the same helper with its own clock.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .jobs import ServiceResult, WarpJob, expand_duplicate
 
 _POLICIES = ("priority", "fifo")
+
+#: Default aging cadence (seconds of waiting per priority level gained)
+#: for callers that turn aging on without picking their own interval.
+DEFAULT_AGING_INTERVAL_S = 30.0
+
+
+def aged_priority(priority: int, waited_s: float,
+                  aging_interval_s: Optional[float]) -> int:
+    """Effective priority of a submission that has waited ``waited_s``.
+
+    One priority level is gained per *full* ``aging_interval_s`` waited,
+    so ordering within an interval is unchanged and a low-priority
+    submission overtakes priority ``P`` traffic after at most
+    ``(P - priority) * aging_interval_s`` seconds of waiting.  ``None``
+    (or a non-positive interval) disables aging.
+    """
+    if aging_interval_s is None or aging_interval_s <= 0 or waited_s <= 0:
+        return priority
+    return priority + int(waited_s // aging_interval_s)
 
 
 @dataclass
@@ -33,6 +60,8 @@ class ScheduledJob:
     #: Effective priority (max over the dedup group).
     priority: int
     duplicates: List[WarpJob] = field(default_factory=list)
+    #: When the slot was submitted (the aging clock; monotonic seconds).
+    enqueued_monotonic: float = 0.0
 
     @property
     def fan_out(self) -> int:
@@ -52,33 +81,53 @@ class ScheduledJob:
 
 
 class JobScheduler:
-    """Deduplicating priority/FIFO scheduler for warp jobs."""
+    """Deduplicating priority/FIFO scheduler for warp jobs.
 
-    def __init__(self, policy: str = "priority"):
+    ``aging_interval_s`` turns on priority aging for the ``priority``
+    policy: :meth:`plan` ranks each slot by its :func:`aged_priority` at
+    planning time, so a long-lived scheduler (the gateway's batch queue)
+    cannot starve old low-priority work behind a stream of fresh
+    high-priority submissions.  The default (``None``) keeps the classic
+    instantaneous plan.
+    """
+
+    def __init__(self, policy: str = "priority",
+                 aging_interval_s: Optional[float] = None):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose one of "
                              f"{_POLICIES}")
         self.policy = policy
+        self.aging_interval_s = aging_interval_s
         self._slots: List[ScheduledJob] = []
         self._by_key: Dict[Tuple, ScheduledJob] = {}
         self._names: set = set()
         self._sequence = 0
 
     # -------------------------------------------------------------- submission
-    def add(self, job: WarpJob) -> ScheduledJob:
-        """Submit one job; returns the slot that will satisfy it."""
+    def add(self, job: WarpJob,
+            enqueued_monotonic: Optional[float] = None) -> ScheduledJob:
+        """Submit one job; returns the slot that will satisfy it.
+
+        ``enqueued_monotonic`` stamps the slot's aging clock (defaults to
+        now); a deduplicated twin keeps the group's *earliest* stamp, so
+        re-submitting content never resets its accumulated age.
+        """
         if job.name in self._names:
             raise ValueError(f"duplicate job name {job.name!r}; names must "
                              f"be unique within a batch")
         self._names.add(job.name)
+        enqueued = time.monotonic() if enqueued_monotonic is None \
+            else enqueued_monotonic
         key = job.dedup_key()
         slot = self._by_key.get(key)
         if slot is not None:
             slot.duplicates.append(job)
             slot.priority = max(slot.priority, job.priority)
+            slot.enqueued_monotonic = min(slot.enqueued_monotonic, enqueued)
             return slot
         slot = ScheduledJob(job=job, sequence=self._sequence,
-                            priority=job.priority)
+                            priority=job.priority,
+                            enqueued_monotonic=enqueued)
         self._sequence += 1
         self._slots.append(slot)
         self._by_key[key] = slot
@@ -97,12 +146,35 @@ class JobScheduler:
     def num_unique(self) -> int:
         return len(self._slots)
 
-    def plan(self) -> List[ScheduledJob]:
-        """The execution order under the configured policy."""
+    def effective_priority(self, slot: ScheduledJob,
+                           now: Optional[float] = None) -> int:
+        """The slot's priority after aging (its submitted priority when
+        aging is off)."""
+        if self.aging_interval_s is None:
+            return slot.priority
+        moment = time.monotonic() if now is None else now
+        return aged_priority(slot.priority,
+                             moment - slot.enqueued_monotonic,
+                             self.aging_interval_s)
+
+    def plan(self, now: Optional[float] = None) -> List[ScheduledJob]:
+        """The execution order under the configured policy.
+
+        ``now`` (a monotonic timestamp) fixes the aging clock for the
+        whole plan — passed by tests for determinism, defaulted for
+        callers.  Without aging, all slots share one effective priority
+        clock and the plan is the classic ``(-priority, sequence)`` sort.
+        """
         if self.policy == "fifo":
             return sorted(self._slots, key=lambda slot: slot.sequence)
-        return sorted(self._slots,
-                      key=lambda slot: (-slot.priority, slot.sequence))
+        if self.aging_interval_s is None:
+            return sorted(self._slots,
+                          key=lambda slot: (-slot.priority, slot.sequence))
+        moment = time.monotonic() if now is None else now
+        return sorted(
+            self._slots,
+            key=lambda slot: (-self.effective_priority(slot, moment),
+                              slot.sequence))
 
     # ------------------------------------------------------------------ fan-out
     @staticmethod

@@ -29,7 +29,10 @@ from repro.server import (
     GatewayBusyError,
     GatewayClient,
     GatewayDrainingError,
+    GatewayMesh,
     HandshakeError,
+    HashRing,
+    MeshBackend,
     ProtocolError,
     RemoteError,
     RemoteWorkerBackend,
@@ -43,6 +46,7 @@ from repro.server import protocol
 from repro.service import ServiceReport, WarpJob, WarpService, execute_job
 from repro.service.cli import load_job_file, main
 from repro.service.jobs import ServiceResult
+from repro.service.scheduler import JobScheduler, aged_priority
 
 from pathlib import Path
 
@@ -630,6 +634,417 @@ class TestRemoteWorkerBackend:
             RemoteWorkerBackend([])
         with pytest.raises(ValueError):
             RemoteWorkerBackend(["no-port-here"])
+
+
+# -------------------------------------------------------------------- hash ring
+class TestHashRing:
+    def test_ownership_is_deterministic_and_order_independent(self):
+        nodes = ["10.0.0.1:7877", "10.0.0.2:7877", "10.0.0.3:7877"]
+        ring = HashRing(nodes)
+        again = HashRing(list(reversed(nodes)))
+        keys = [f"key-{index}" for index in range(200)]
+        owners = [ring.node_for(key) for key in keys]
+        assert owners == [again.node_for(key) for key in keys]
+        assert set(owners) <= set(nodes)
+        assert len(set(owners)) == len(nodes)  # vnodes spread the keyspace
+
+    def test_add_reshuffles_at_most_2_over_n_of_keys(self):
+        """Acceptance: growing the mesh moves only the new member's key
+        ranges — bounded by 2/N of ~1000 keys — and every moved key
+        lands on the new member (never shuffled between survivors)."""
+        nodes = [f"10.0.0.{index}:7877" for index in range(1, 5)]
+        ring = HashRing(nodes)
+        keys = [f"job-{index}" for index in range(1000)]
+        before = {key: ring.node_for(key) for key in keys}
+        assert ring.add("10.0.0.9:7877")
+        moved = [key for key in keys if ring.node_for(key) != before[key]]
+        assert len(moved) <= 2 * len(keys) / len(ring)
+        assert all(ring.node_for(key) == "10.0.0.9:7877" for key in moved)
+
+    def test_remove_moves_only_the_lost_members_keys(self):
+        nodes = [f"10.0.0.{index}:7877" for index in range(1, 6)]
+        ring = HashRing(nodes)
+        keys = [f"job-{index}" for index in range(1000)]
+        before = {key: ring.node_for(key) for key in keys}
+        lost = nodes[2]
+        assert ring.remove(lost)
+        for key in keys:
+            if before[key] == lost:
+                assert ring.node_for(key) in ring.nodes
+            else:
+                assert ring.node_for(key) == before[key]
+        orphaned = sum(1 for key in keys if before[key] == lost)
+        assert orphaned <= 2 * len(keys) / (len(ring) + 1)
+
+    def test_empty_ring_and_membership_queries(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert ring.add("a:1") and not ring.add("a:1")
+        assert "a:1" in ring and len(ring) == 1
+        assert ring.node_for("anything") == "a:1"
+        assert ring.remove("a:1") and not ring.remove("a:1")
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+# ------------------------------------------------------------- priority aging
+class TestSchedulerAging:
+    def test_aged_priority_levels(self):
+        assert aged_priority(0, 0.0, 30.0) == 0
+        assert aged_priority(0, 29.9, 30.0) == 0
+        assert aged_priority(0, 30.0, 30.0) == 1
+        assert aged_priority(2, 95.0, 30.0) == 5
+        assert aged_priority(3, 1000.0, None) == 3   # aging off
+        assert aged_priority(3, 1000.0, 0.0) == 3    # non-positive interval
+        assert aged_priority(3, -5.0, 30.0) == 3     # clock skew tolerated
+
+    def test_waiting_low_priority_overtakes_fresh_high_priority(self):
+        """Satellite: the starvation case — a low-priority slot that has
+        waited long enough outranks younger high-priority traffic."""
+        scheduler = JobScheduler(aging_interval_s=10.0)
+        old = scheduler.add(WarpJob(name="old-low", benchmark="brev",
+                                    small=True, priority=0),
+                            enqueued_monotonic=0.0)
+        scheduler.add(WarpJob(name="new-high", benchmark="idct",
+                              small=True, priority=2),
+                      enqueued_monotonic=100.0)
+        # At t=100 the low-priority slot has waited 100s: +10 levels.
+        assert scheduler.effective_priority(old, now=100.0) == 10
+        assert [slot.job.name for slot in scheduler.plan(now=100.0)] \
+            == ["old-low", "new-high"]
+        # At submission time no age has accrued: strict priority holds.
+        assert [slot.job.name for slot in scheduler.plan(now=0.0)] \
+            == ["new-high", "old-low"]
+
+    def test_without_aging_the_plan_is_the_classic_sort(self):
+        aged = JobScheduler(aging_interval_s=None)
+        classic = JobScheduler()
+        for name, priority, stamp in (("a", 0, 0.0), ("b", 5, 900.0),
+                                      ("c", 2, 400.0)):
+            for scheduler in (aged, classic):
+                scheduler.add(WarpJob(name=name, benchmark="brev",
+                                      small=True, priority=priority,
+                                      max_instructions=100_000
+                                      + priority),
+                              enqueued_monotonic=stamp)
+        plan = [slot.job.name for slot in aged.plan(now=1e9)]
+        assert plan == [slot.job.name for slot in classic.plan()]
+        assert plan == ["b", "c", "a"]
+
+    def test_dedup_twin_keeps_the_earliest_aging_stamp(self):
+        scheduler = JobScheduler(aging_interval_s=10.0)
+        slot = scheduler.add(WarpJob(name="first", benchmark="brev",
+                                     small=True),
+                             enqueued_monotonic=50.0)
+        twin = scheduler.add(WarpJob(name="twin", benchmark="brev",
+                                     small=True),
+                             enqueued_monotonic=5.0)
+        assert twin is slot
+        assert slot.enqueued_monotonic == 5.0  # age never resets
+
+
+# ------------------------------------------------------ concurrent batch pool
+def _fake_slow_worker(job):
+    """Worker that holds a batch runner busy for a deterministic window
+    without paying for a real CAD flow."""
+    time.sleep(0.3)
+    return ServiceResult(job_name=job.name, workload=job.benchmark,
+                         config_label=job.config_label or "paper",
+                         engine=job.engine, ok=True)
+
+
+class TestGatewayConcurrency:
+    def test_per_client_quota_yields_typed_rejection(self):
+        """Satellite: one tenant filling its quota gets a 429-style busy
+        reply carrying its own occupancy; other tenants stay admitted."""
+        slow = WarpService(workers=0, worker_fn=_fake_slow_worker)
+        with running_gateway(queue_limit=64, client_quota=2,
+                             service=slow) as gateway:
+            with GatewayClient(gateway.address) as client:
+                client.submit(
+                    [WarpJob(name=f"q{i}", benchmark="brev", small=True)
+                     for i in range(2)],
+                    wait=False, client_id="tenant-a")
+                with pytest.raises(GatewayBusyError, match="quota"):
+                    client.submit([WarpJob(name="late", benchmark="brev",
+                                           small=True)],
+                                  client_id="tenant-a")
+                # The raw reply carries the client's own occupancy (all
+                # additive keys; the error/code shape is the classic busy).
+                with socket.create_connection(("127.0.0.1", gateway.port),
+                                              timeout=30) as sock:
+                    protocol.send_frame(sock, {
+                        "magic": protocol.PROTOCOL_MAGIC,
+                        "version": protocol.PROTOCOL_VERSION})
+                    assert protocol.recv_frame(sock)["ok"]
+                    protocol.send_frame(sock, {
+                        "verb": "submit", "wait": True,
+                        "client": "tenant-a",
+                        "jobs": protocol.jobs_to_plain(
+                            [WarpJob(name="raw", benchmark="brev",
+                                     small=True)])})
+                    reply = protocol.recv_frame(sock)
+                assert reply["error"] == "busy" and reply["code"] == 429
+                assert reply["client"] == "tenant-a"
+                assert reply["client_pending"] == 2
+                assert reply["client_quota"] == 2
+                # An anonymous (or other-tenant) submission is only held
+                # to the global limit.
+                batch_id = client.submit(
+                    [WarpJob(name="other", benchmark="brev", small=True)],
+                    wait=False, client_id="tenant-b")
+                assert batch_id.startswith("batch-")
+                metrics = client.metrics(include_spans=False)
+                assert metrics["client_quota"] == 2
+                assert metrics["quota_rejections"] >= 2
+
+    def test_quota_larger_batches_are_batch_too_large(self):
+        with running_gateway(queue_limit=64, client_quota=2) as gateway:
+            with GatewayClient(gateway.address) as client:
+                with pytest.raises(RemoteError, match="batch-too-large"):
+                    client.submit([WarpJob(name=f"j{i}", benchmark="brev",
+                                           small=True) for i in range(3)],
+                                  client_id="tenant-a")
+
+    def test_concurrent_batches_match_sequential_canonical(self):
+        """Satellite: two batches with overlapping CAD content executed
+        concurrently (shared service, shared caches) are bit-identical —
+        on the canonical fields — to sequential fresh-cache runs."""
+        jobs_a = [WarpJob(name="a-brev", benchmark="brev", small=True),
+                  WarpJob(name="a-idct", benchmark="idct", small=True)]
+        jobs_b = [WarpJob(name="b-brev", benchmark="brev", small=True),
+                  WarpJob(name="b-matmul", benchmark="matmul", small=True)]
+        with running_gateway(service=WarpService(
+                workers=0, artifact_cache=CadArtifactCache()),
+                max_concurrent_batches=2) as gateway:
+            with GatewayClient(gateway.address) as submit_a, \
+                    GatewayClient(gateway.address) as submit_b:
+                id_a = submit_a.submit(jobs_a, wait=False)
+                id_b = submit_b.submit(jobs_b, wait=False)
+                deadline = time.time() + 300
+                while True:
+                    status_a = submit_a.status(id_a)
+                    status_b = submit_b.status(id_b)
+                    if status_a["state"] == "done" \
+                            and status_b["state"] == "done":
+                        break
+                    assert time.time() < deadline, (status_a, status_b)
+                    time.sleep(0.05)
+        serial_a = WarpService(workers=0,
+                               artifact_cache=CadArtifactCache()).run(jobs_a)
+        serial_b = WarpService(workers=0,
+                               artifact_cache=CadArtifactCache()).run(jobs_b)
+        assert status_a["report"].canonical() == serial_a.canonical()
+        assert status_b["report"].canonical() == serial_b.canonical()
+
+    def test_aging_prevents_batch_starvation(self):
+        """Satellite: under sustained high-priority traffic on a single
+        runner, an aged low-priority batch is scheduled ahead of younger
+        high-priority batches (and last without aging)."""
+        def run_drill(aging_interval_s):
+            slow = WarpService(workers=0, worker_fn=_fake_slow_worker)
+            with running_gateway(service=slow, max_concurrent_batches=1,
+                                 aging_interval_s=aging_interval_s) \
+                    as gateway:
+                with GatewayClient(gateway.address) as client:
+                    client.submit([WarpJob(name="blocker", benchmark="brev",
+                                           small=True, priority=9)],
+                                  wait=False)
+                    low = client.submit([WarpJob(name="low", benchmark="brev",
+                                                 small=True, priority=0)],
+                                        wait=False)
+                    # Let the low-priority batch accumulate age worth more
+                    # than the priority gap before the high traffic lands.
+                    time.sleep(0.15)
+                    highs = [client.submit(
+                        [WarpJob(name=f"high-{index}", benchmark="brev",
+                                 small=True, priority=5)], wait=False)
+                        for index in range(2)]
+                    order = []
+                    deadline = time.time() + 120
+                    pending = {low: "low", highs[-1]: "high-last"}
+                    while pending:
+                        assert time.time() < deadline
+                        for batch_id in list(pending):
+                            if client.status(batch_id)["state"] == "done":
+                                order.append(pending.pop(batch_id))
+                        time.sleep(0.02)
+            return order
+        # Aging on (one level per 20ms): "low" ages past priority 5
+        # while the blocker runs, so it beats the younger high batches.
+        assert run_drill(0.02) == ["low", "high-last"]
+        # Aging off: classic strict priority starves it to the back.
+        assert run_drill(None) == ["high-last", "low"]
+
+
+# -------------------------------------------------------------- gateway mesh
+def _stored_service(path):
+    """A serial service over its own explicit disk store (two of these
+    can coexist in one process, unlike ``configure_process_store``)."""
+    return WarpService(workers=0, artifact_cache=CadArtifactCache(
+        store=DiskArtifactStore(path)))
+
+
+class TestGatewayMesh:
+    def test_join_and_peers_verbs_mesh_two_gateways(self, tmp_path):
+        with running_gateway(service=_stored_service(tmp_path / "g1")) as g1:
+            with running_gateway(service=_stored_service(tmp_path / "g2"),
+                                 peers=[g1.address]) as g2:
+                for gateway in (g1, g2):
+                    with GatewayClient(gateway.address) as client:
+                        view = client.mesh_peers()
+                    assert view["self"] == gateway.address
+                    assert set(view["members"]) == {g1.address, g2.address}
+                    assert view["ring_version"] >= 2
+                    # The additive block is JSON-plain: it must survive
+                    # the codec byte-for-byte (no exotic types).
+                    assert json.loads(json.dumps(view)) == view
+
+    def test_mesh_fetch_serves_raw_store_entries(self, tmp_path):
+        service = _stored_service(tmp_path / "g1")
+        store = service.artifact_cache.disk_store
+        store.stage_put("synthesis", "cafe" * 4, {"luts": 42})
+        with running_gateway(service=service) as gateway:
+            with GatewayClient(gateway.address) as client:
+                blob = client.mesh_fetch("synthesis", "cafe" * 4)
+                assert blob == store._entry_path(
+                    "synthesis", "cafe" * 4).read_bytes()
+                assert client.mesh_fetch("synthesis", "beef" * 4) is None
+
+    def test_cold_gateway_warms_from_its_peer(self, tmp_path):
+        """Acceptance: a cold mesh member pulls warm stage entries from
+        its peer (counted as peer hits end to end, in the report and the
+        live scrape) and produces a canonically identical report."""
+        jobs = [WarpJob(name="brev-s", benchmark="brev", small=True)]
+        with running_gateway(service=_stored_service(tmp_path / "g1")) as g1:
+            with GatewayClient(g1.address) as client:
+                warm = client.submit(jobs)
+            assert warm.num_failed == 0
+            with running_gateway(service=_stored_service(tmp_path / "g2"),
+                                 peers=[g1.address]) as g2:
+                with GatewayClient(g2.address) as client:
+                    cold = client.submit(jobs)
+                    metrics = client.metrics(include_spans=False)
+        assert cold.num_failed == 0
+        assert cold.canonical() == warm.canonical()
+        assert cold.cache_peer_hits > 0
+        assert cold.cache_disk_hits == 0  # nothing was local yet
+        result = cold.results[0]
+        assert "peer-hit" in result.stage_cache.values()
+        # The report's stage table breaks peer hits out.
+        plain = cold.to_plain()
+        assert sum(stage["peer_hits"]
+                   for stage in plain["stages"].values()) \
+            == cold.cache_peer_hits
+        # Mesh counters: in the additive reply block and the live scrape.
+        assert metrics["mesh"]["peer_fetch_hits"] > 0
+        families = metrics["metrics"]
+        assert any(sample["labels"].get("result") == "hit"
+                   and sample["value"] > 0
+                   for sample in families.get(
+                       "warp_mesh_peer_fetches_total", {}).get("samples", []))
+        assert any(sample["value"] >= 2.0 for sample in families.get(
+            "warp_mesh_members", {}).get("samples", []))
+
+    def test_ring_routed_submission_is_forwarded_to_the_owner(self, tmp_path):
+        with running_gateway(service=_stored_service(tmp_path / "g1")) as g1:
+            with running_gateway(service=_stored_service(tmp_path / "g2"),
+                                 peers=[g1.address]) as g2:
+                ring = HashRing([g1.address, g2.address])
+                owned = {}
+                for index in range(64):
+                    job = WarpJob(name=f"probe-{index}", benchmark="brev",
+                                  small=True,
+                                  max_instructions=150_000 + index)
+                    owner = ring.node_for(repr(job.dedup_key()))
+                    owned.setdefault(owner, job)
+                    if len(owned) == 2:
+                        break
+                assert set(owned) == {g1.address, g2.address}
+                with GatewayClient(g2.address) as client:
+                    # Not the owner: relayed to g1, reply says so.
+                    relayed = client._round_trip({
+                        "verb": "submit", "wait": True, "route": "ring",
+                        "jobs": protocol.jobs_to_plain(
+                            [owned[g1.address]])})
+                    assert relayed.get("forwarded_to") == g1.address
+                    report = ServiceReport.from_plain(relayed["report"])
+                    assert report.num_failed == 0
+                    # The owner executes locally: no forward tag.
+                    local = client._round_trip({
+                        "verb": "submit", "wait": True, "route": "ring",
+                        "jobs": protocol.jobs_to_plain(
+                            [owned[g2.address]])})
+                    assert "forwarded_to" not in local
+                    assert ServiceReport.from_plain(
+                        local["report"]).num_failed == 0
+
+    def test_status_and_metrics_carry_mesh_info_additively(self):
+        """Satellite: replies gain a ``mesh`` block without any protocol
+        version bump — old decoders ignore it, the report still decodes."""
+        with running_gateway() as gateway:
+            with GatewayClient(gateway.address) as client:
+                batch_id = client.submit(
+                    [WarpJob(name="j", benchmark="brev", small=True)],
+                    wait=False)
+                deadline = time.time() + 120
+                while True:
+                    status = client.status(batch_id)
+                    if status["state"] == "done":
+                        break
+                    assert time.time() < deadline, status
+                    time.sleep(0.05)
+                assert status["mesh"]["self"] == gateway.address
+                assert status["mesh"]["members"] == [gateway.address]
+                assert isinstance(status["report"], ServiceReport)
+                metrics = client.metrics(include_spans=False)
+                assert metrics["mesh"]["ring_version"] >= 1
+                stats = client.cache_stats()
+                assert stats["mesh"]["self"] == gateway.address
+
+    def test_mesh_backend_routes_by_ring_and_fails_over(self):
+        addresses = [("127.0.0.1", 7001), ("127.0.0.1", 7002),
+                     ("127.0.0.1", 7003)]
+        backend = MeshBackend(addresses)
+        jobs = [WarpJob(name=f"j{index}", benchmark="brev", small=True,
+                        max_instructions=100_000 + index)
+                for index in range(60)]
+        reference = HashRing([f"127.0.0.1:{port}" for _, port in addresses])
+        before = {}
+        for job in jobs:
+            host, port = backend.address_for(job)
+            assert f"{host}:{port}" \
+                == reference.node_for(repr(job.dedup_key()))
+            before[job.name] = (host, port)
+        # Routing survives pickling (pool workers rebuild the ring).
+        clone = pickle.loads(pickle.dumps(backend))
+        assert all(clone.address_for(job) == before[job.name]
+                   for job in jobs)
+        # Failover: dropping a dead member re-routes only its jobs.
+        backend._note_failure(("127.0.0.1", 7002))
+        assert backend.ring_members() == ("127.0.0.1:7001",
+                                          "127.0.0.1:7003")
+        moved = [job.name for job in jobs
+                 if backend.address_for(job) != before[job.name]]
+        assert moved == [job.name for job in jobs
+                         if before[job.name] == ("127.0.0.1", 7002)]
+        for job in jobs:
+            assert backend.address_for(job)[1] != 7002
+
+    def test_mesh_backend_runs_a_suite_over_a_mesh(self, tmp_path):
+        """MeshBackend against a live two-gateway mesh: every result is
+        identical to the serial in-process path."""
+        jobs = _small_jobs()
+        with running_gateway(service=_stored_service(tmp_path / "g1")) as g1:
+            with running_gateway(service=_stored_service(tmp_path / "g2"),
+                                 peers=[g1.address]) as g2:
+                backend = MeshBackend([g1.address, g2.address],
+                                      client_id="suite")
+                remote = WarpService(workers=0, worker_fn=backend).run(jobs)
+        local = WarpService(workers=0,
+                            artifact_cache=CadArtifactCache()).run(jobs)
+        assert remote.num_failed == 0
+        assert remote.canonical() == local.canonical()
 
 
 # ----------------------------------------------------------------------- CLI verbs
